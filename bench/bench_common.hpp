@@ -1,0 +1,64 @@
+// Shared plumbing for the figure-reproduction benchmarks: cached synthetic
+// traces (generated once per binary), the paper's cache-size grid expressed
+// as fractions of each trace's measured working-set size, and a pretty
+// result-row helper.
+//
+// Every binary reproduces one table/figure of the paper and prints the same
+// rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/oracle.hpp"
+#include "trace/stats.hpp"
+#include "util/table.hpp"
+
+namespace cdn::bench {
+
+/// Scale of the synthetic traces relative to the defaults (~1 M requests).
+inline constexpr double kTraceScale = 0.5;
+
+/// The three annotated workloads, generated once and cached.
+inline const std::vector<Trace>& traces() {
+  static const auto* ts = [] {
+    auto* v = new std::vector<Trace>;
+    for (const auto& spec :
+         {cdn_t_like(kTraceScale), cdn_w_like(kTraceScale),
+          cdn_a_like(kTraceScale)}) {
+      Trace t = generate_trace(spec);
+      annotate_next_access(t);
+      v->push_back(std::move(t));
+    }
+    return v;
+  }();
+  return *ts;
+}
+
+inline const Trace& trace_t() { return traces()[0]; }
+inline const Trace& trace_w() { return traces()[1]; }
+inline const Trace& trace_a() { return traces()[2]; }
+
+/// Cache size as a fraction of the trace's working set (the paper sizes
+/// caches relative to the WSS; Fig. 8's 64/128/256 GB of CDN-T's 1097 GB
+/// are about 5.8 / 11.7 / 23.3 %).
+inline std::uint64_t cap_frac(const Trace& t, double frac) {
+  return static_cast<std::uint64_t>(
+      frac * static_cast<double>(t.working_set_bytes()));
+}
+
+inline constexpr double kFig8SmallFrac = 0.058;   // "64 GB"
+inline constexpr double kFig8MediumFrac = 0.117;  // "128 GB"
+inline constexpr double kFig8LargeFrac = 0.233;   // "256 GB"
+
+/// Prints a titled table block so bench output reads like the paper.
+inline void print_block(const std::string& title, const Table& table) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.str().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace cdn::bench

@@ -1,0 +1,67 @@
+// Policy explorer: sweep any set of policies across cache sizes on one of
+// the built-in workloads, in parallel, and emit CSV for plotting.
+//
+//   $ ./examples/policy_explorer [workload] [policies...]
+//     workload  T | W | A (default W)
+//     policies  registered names (default: LRU SCIP ASC-IP DIP Belady)
+//
+//   $ ./examples/policy_explorer A SCIP LRU LHD > sweep.csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sim/sweep.hpp"
+#include "trace/generator.hpp"
+#include "trace/oracle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdn;
+
+  WorkloadSpec spec = cdn_w_like(0.3);
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "T") == 0) spec = cdn_t_like(0.3);
+    if (std::strcmp(argv[1], "A") == 0) spec = cdn_a_like(0.3);
+  }
+  std::vector<std::string> policies;
+  for (int i = 2; i < argc; ++i) policies.emplace_back(argv[i]);
+  if (policies.empty()) {
+    policies = {"LRU", "SCIP", "ASC-IP", "DIP", "Belady"};
+  }
+
+  Trace trace = generate_trace(spec);
+  annotate_next_access(trace);  // lets Belady join the sweep
+  const auto wss = trace.working_set_bytes();
+  std::fprintf(stderr, "workload %s: %zu requests, WSS %.2f GiB\n",
+               trace.name.c_str(), trace.size(),
+               static_cast<double>(wss) / (1 << 30));
+
+  const double fracs[] = {0.01, 0.02, 0.058, 0.117, 0.233};
+  std::vector<SweepJob> jobs;
+  for (const auto& name : policies) {
+    for (const double f : fracs) {
+      const auto cap =
+          static_cast<std::uint64_t>(f * static_cast<double>(wss));
+      jobs.push_back(SweepJob{
+          [name, cap] { return make_cache(name, cap); }, &trace,
+          SimOptions{}});
+    }
+  }
+  const auto results = run_sweep(jobs);
+
+  std::printf("workload,policy,cache_frac,cache_bytes,object_miss_ratio,"
+              "byte_miss_ratio,tps\n");
+  std::size_t k = 0;
+  for (const auto& name : policies) {
+    for (const double f : fracs) {
+      const auto& r = results[k++];
+      std::printf("%s,%s,%.3f,%llu,%.6f,%.6f,%.0f\n", trace.name.c_str(),
+                  name.c_str(), f,
+                  static_cast<unsigned long long>(
+                      f * static_cast<double>(wss)),
+                  r.object_miss_ratio(), r.byte_miss_ratio(), r.tps());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Trace analyzer: Table-1 statistics plus the paper's ZRO / P-ZRO
+// decomposition for a trace file (CSV "time,id,size" or the binary format)
+// or a built-in synthetic workload.
+//
+//   $ ./examples/trace_analyzer mytrace.csv 0.05
+//   $ ./examples/trace_analyzer @W 0.05        # built-in CDN-W-like
+//     second argument: cache size as a fraction of the WSS (default 0.05)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/residency.hpp"
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdn;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.csv|trace.bin|@T|@W|@A> [cache_frac]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string src = argv[1];
+  const double frac = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  Trace trace;
+  if (src == "@T") {
+    trace = generate_trace(cdn_t_like(0.3));
+  } else if (src == "@W") {
+    trace = generate_trace(cdn_w_like(0.3));
+  } else if (src == "@A") {
+    trace = generate_trace(cdn_a_like(0.3));
+  } else if (src.size() > 4 && src.substr(src.size() - 4) == ".bin") {
+    trace = read_binary(src, src);
+  } else {
+    trace = read_csv(src, src);
+  }
+
+  const auto stats = compute_stats(trace);
+  std::printf("%s\n", format_table1({stats}).c_str());
+
+  const auto cap = static_cast<std::uint64_t>(
+      frac * static_cast<double>(stats.working_set_bytes));
+  const auto an = analysis::analyze_zro(trace, cap);
+  Table zro({"metric", "value"});
+  zro.add_row({"cache size", Table::bytes(static_cast<double>(cap)) + " (" +
+                                 Table::pct(frac, 1) + " of WSS)"});
+  zro.add_row({"LRU miss ratio", Table::pct(an.miss_ratio())});
+  zro.add_row({"ZRO share of misses", Table::pct(an.zro_fraction_of_misses())});
+  zro.add_row({"A-ZRO share of ZROs", Table::pct(an.azro_fraction_of_zros())});
+  zro.add_row({"P-ZRO share of hits", Table::pct(an.pzro_fraction_of_hits())});
+  zro.add_row(
+      {"A-P-ZRO share of P-ZROs", Table::pct(an.apzro_fraction_of_pzros())});
+  zro.print();
+  return 0;
+}

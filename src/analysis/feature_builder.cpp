@@ -1,0 +1,68 @@
+#include "analysis/feature_builder.hpp"
+
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+namespace cdn::analysis {
+
+ml::Dataset build_event_dataset(const Trace& trace, const ZroAnalysis& labels,
+                                LabelTask task,
+                                std::vector<std::uint64_t>* row_ids) {
+  if (row_ids) row_ids->clear();
+  ml::Dataset ds(kEventFeatures);
+  struct Hist {
+    std::int64_t last = -1;
+    std::int64_t prev_gap = -1;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, Hist> hist;
+  hist.reserve(trace.requests.size() / 2);
+
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const Request& req = trace.requests[i];
+    const AccessLabel& lab = labels.labels[i];
+    Hist& h = hist[req.id];
+
+    const bool include = task == LabelTask::kBoth ||
+                         (task == LabelTask::kZro && lab.is_miss) ||
+                         (task == LabelTask::kPzro && !lab.is_miss);
+    if (include) {
+      std::array<float, kEventFeatures> x{};
+      const double gap = h.last >= 0
+                             ? static_cast<double>(
+                                   static_cast<std::int64_t>(i) - h.last)
+                             : 4e6;
+      const double prev_gap =
+          h.prev_gap >= 0 ? static_cast<double>(h.prev_gap) : 4e6;
+      x[0] = static_cast<float>(
+          std::log2(static_cast<double>(req.size) + 1.0));
+      x[1] = static_cast<float>(std::log1p(gap));
+      x[2] = static_cast<float>(std::log1p(static_cast<double>(h.count)));
+      x[3] = static_cast<float>(std::log1p(prev_gap));
+      x[4] = lab.is_miss ? 1.0f : 0.0f;
+      x[5] = static_cast<float>(std::log1p(static_cast<double>(i)));
+      float y = 0.0f;
+      switch (task) {
+        case LabelTask::kZro:
+          y = lab.is_zro ? 1.0f : 0.0f;
+          break;
+        case LabelTask::kPzro:
+          y = lab.is_pzro ? 1.0f : 0.0f;
+          break;
+        case LabelTask::kBoth:
+          y = (lab.is_zro || lab.is_pzro) ? 1.0f : 0.0f;
+          break;
+      }
+      ds.add_row(std::span<const float>(x.data(), x.size()), y);
+      if (row_ids) row_ids->push_back(req.id);
+    }
+
+    if (h.last >= 0) h.prev_gap = static_cast<std::int64_t>(i) - h.last;
+    h.last = static_cast<std::int64_t>(i);
+    ++h.count;
+  }
+  return ds;
+}
+
+}  // namespace cdn::analysis

@@ -1,0 +1,29 @@
+// Classification datasets for the Figure 4 model comparison.
+//
+// Each request event becomes one example. Features are what an online
+// policy could know at decision time: object size, recency gap, access
+// count so far, a short reuse-gap history, and the (log) request index.
+// Labels come from the ZRO analysis:
+//  * task kZro   — miss events;   label = is_zro
+//  * task kPzro  — hit events;    label = is_pzro
+//  * task kBoth  — all events;    label = is_zro || is_pzro
+// (the setting the paper argues a deployed policy must solve).
+#pragma once
+
+#include "analysis/residency.hpp"
+#include "ml/dataset.hpp"
+
+namespace cdn::analysis {
+
+enum class LabelTask { kZro, kPzro, kBoth };
+
+inline constexpr int kEventFeatures = 6;
+
+/// Builds (features, label) rows for the chosen task in trace order.
+/// If `row_ids` is non-null it receives the object id of every row (used by
+/// the online MAB classifier's per-signature context).
+[[nodiscard]] ml::Dataset build_event_dataset(
+    const Trace& trace, const ZroAnalysis& labels, LabelTask task,
+    std::vector<std::uint64_t>* row_ids = nullptr);
+
+}  // namespace cdn::analysis

@@ -1,0 +1,91 @@
+#include "analysis/mab_classifier.hpp"
+
+#include <cmath>
+
+namespace cdn::analysis {
+
+std::vector<double> run_mab_classifier(
+    const ml::Dataset& events, const std::vector<std::uint64_t>& signatures,
+    MabClassifierParams params) {
+  const std::size_t n = events.rows();
+  std::vector<double> scores(n, 0.5);
+  if (signatures.size() != n) return scores;
+
+  Rng rng(params.seed);
+  ml::AdaptiveLearningRate lr(params.lr);
+
+  // Global prior arms plus one weight pair per signature bucket; the
+  // decision blends both, mirroring how SCIP's history lists personalize a
+  // global policy.
+  double gw_pos = 0.5;
+  double gw_neg = 0.5;
+  struct ArmPair {
+    float pos = 0.5f;
+    float neg = 0.5f;
+  };
+  std::vector<ArmPair> table(params.table_size);
+
+  std::size_t window = 0;
+  std::size_t window_correct = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t sig =
+        static_cast<std::size_t>(hash64(signatures[i]) % table.size());
+    ArmPair& a = table[sig];
+    const double p_pos =
+        0.5 * (gw_pos / (gw_pos + gw_neg)) +
+        0.5 * (static_cast<double>(a.pos) /
+               (static_cast<double>(a.pos) + static_cast<double>(a.neg)));
+    scores[i] = p_pos;
+    const bool verdict_pos = p_pos > rng.uniform();
+    const bool truth = events.label(i) >= 0.5f;
+    const bool correct = verdict_pos == truth;
+
+    // Penalize the chosen arm on error (w *= exp(-lambda)), globally and
+    // in the signature bucket.
+    const double lambda = lr.lambda();
+    const double decay = std::exp(-lambda);
+    if (!correct) {
+      if (verdict_pos) {
+        gw_pos *= decay;
+        a.pos = static_cast<float>(a.pos * decay);
+      } else {
+        gw_neg *= decay;
+        a.neg = static_cast<float>(a.neg * decay);
+      }
+    } else {
+      // Mild reinforcement of the correct arm keeps weights responsive.
+      if (truth) {
+        gw_neg *= decay;
+        a.neg = static_cast<float>(a.neg * decay);
+      } else {
+        gw_pos *= decay;
+        a.pos = static_cast<float>(a.pos * decay);
+      }
+    }
+    // Renormalize to dodge underflow.
+    const double gsum = gw_pos + gw_neg;
+    gw_pos /= gsum;
+    gw_neg = 1.0 - gw_pos;
+    const float asum = a.pos + a.neg;
+    if (asum < 1e-6f) {
+      a.pos = a.neg = 0.5f;
+    } else {
+      a.pos /= asum;
+      a.neg = 1.0f - a.pos;
+    }
+
+    ++window;
+    if (correct) ++window_correct;
+    if (window >= params.update_interval) {
+      lr.update(static_cast<double>(window_correct) /
+                    static_cast<double>(window),
+                rng);
+      window = 0;
+      window_correct = 0;
+    }
+  }
+  return scores;
+}
+
+}  // namespace cdn::analysis

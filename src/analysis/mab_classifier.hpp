@@ -1,0 +1,33 @@
+// Online MAB classifier for the Figure 4 comparison.
+//
+// The batch models (LinReg ... GBM) are trained once on the first half of
+// the event stream and frozen; the MAB — like SCIP in deployment — keeps
+// learning online. Its two arms are the two verdicts ("zero-reuse" vs
+// "reusable"); a wrong verdict multiplies the chosen arm's weight by
+// exp(-lambda) (the paper's §3.3 update) and lambda follows Algorithm 2 on
+// the windowed decision accuracy. A small per-signature weight table gives
+// the bandit the same per-object context the history lists give SCIP.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/mab.hpp"
+#include "util/rng.hpp"
+
+namespace cdn::analysis {
+
+struct MabClassifierParams {
+  std::size_t table_size = 4096;  ///< per-signature arm weights
+  std::size_t update_interval = 2000;
+  ml::LearningRateParams lr{};
+  std::uint64_t seed = 53;
+};
+
+/// Runs the online MAB over the (ordered) event dataset; returns one score
+/// in [0,1] per row, produced BEFORE seeing that row's label.
+[[nodiscard]] std::vector<double> run_mab_classifier(
+    const ml::Dataset& events, const std::vector<std::uint64_t>& signatures,
+    MabClassifierParams params = {});
+
+}  // namespace cdn::analysis

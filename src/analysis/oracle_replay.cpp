@@ -1,0 +1,49 @@
+#include "analysis/oracle_replay.hpp"
+
+#include <algorithm>
+
+#include "sim/lru_queue.hpp"
+
+namespace cdn::analysis {
+
+double oracle_replay_miss_ratio(const Trace& trace, const ZroAnalysis& labels,
+                                std::uint64_t cache_bytes, OracleMode mode,
+                                double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto cutoff = static_cast<std::size_t>(
+      fraction * static_cast<double>(trace.requests.size()));
+  const bool treat_zro = mode != OracleMode::kPzroOnly;
+  const bool treat_pzro = mode != OracleMode::kZroOnly;
+
+  LruQueue q;
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const Request& req = trace.requests[i];
+    const AccessLabel& lab = labels.labels[i];
+    const bool in_window = i < cutoff;
+    if (q.contains(req.id)) {
+      if (treat_pzro && in_window && lab.is_pzro) {
+        q.demote_lru(req.id);  // the promotion a P-ZRO should not get
+      } else {
+        q.touch_mru(req.id);
+      }
+      continue;
+    }
+    ++misses;
+    if (req.size > cache_bytes) continue;
+    while (q.used_bytes() + req.size > cache_bytes && !q.empty()) {
+      q.pop_lru();
+    }
+    if (treat_zro && in_window && lab.is_zro) {
+      q.insert_lru(req.id, req.size);
+    } else {
+      q.insert_mru(req.id, req.size);
+    }
+  }
+  return trace.requests.empty()
+             ? 0.0
+             : static_cast<double>(misses) /
+                   static_cast<double>(trace.requests.size());
+}
+
+}  // namespace cdn::analysis

@@ -1,0 +1,26 @@
+// Oracle-guided LRU replay (Figure 3): given the ZRO / P-ZRO labels from a
+// first analysis pass, re-run LRU while force-placing a chosen fraction of
+// the labeled events at the LRU position:
+//  * a labeled ZRO miss is inserted at the LRU end instead of MRU;
+//  * a labeled P-ZRO hit is demoted to the LRU end instead of promoted.
+// This measures the paper's "theoretical" benefit of perfect ZRO / P-ZRO
+// knowledge, including the §2.2 observation that treating either class
+// perturbs the other (labels come from the untreated replay).
+#pragma once
+
+#include "analysis/residency.hpp"
+
+namespace cdn::analysis {
+
+enum class OracleMode { kZroOnly, kPzroOnly, kBoth };
+
+/// Miss ratio of the oracle replay. `fraction` selects the first
+/// fraction of the trace in which labeled events receive LRU placement
+/// (the paper's "percentage at the top of the access sequence").
+[[nodiscard]] double oracle_replay_miss_ratio(const Trace& trace,
+                                              const ZroAnalysis& labels,
+                                              std::uint64_t cache_bytes,
+                                              OracleMode mode,
+                                              double fraction);
+
+}  // namespace cdn::analysis

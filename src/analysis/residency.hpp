@@ -1,0 +1,77 @@
+// Residency tracking under LRU replay: the substrate of the paper's
+// motivational analysis (Figure 1) and the oracle experiments (Figure 3).
+//
+// Definitions (paper §1):
+//  * ZRO   — a missing object that, once inserted, is never hit during that
+//            cache residency ("will not be accessed as long as it appears
+//            in the cache"). ZRO-ness is per-residency, not per-object.
+//  * A-ZRO — a ZRO event whose object is hit in the cache during some later
+//            residency (a ZRO that "comes back to life").
+//  * P-ZRO — a hit object that immediately degrades to zero reuse: the last
+//            hit of a residency (after its promotion the object is never
+//            hit again before eviction).
+//  * A-P-ZRO — a P-ZRO event whose object is hit again in a later residency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace cdn::analysis {
+
+/// Per-request labels produced by the replay.
+struct AccessLabel {
+  bool is_miss = false;
+  bool is_zro = false;     ///< set on miss events only
+  bool is_azro = false;    ///< subset of is_zro
+  bool is_pzro = false;    ///< set on hit events only
+  bool is_apzro = false;   ///< subset of is_pzro
+};
+
+struct ZroAnalysis {
+  std::vector<AccessLabel> labels;  ///< one per request
+
+  std::uint64_t requests = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t zro_events = 0;
+  std::uint64_t azro_events = 0;
+  std::uint64_t pzro_events = 0;
+  std::uint64_t apzro_events = 0;
+
+  [[nodiscard]] double miss_ratio() const {
+    return requests ? static_cast<double>(misses) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  /// Fig. 1(a)/(d)-style proportions.
+  [[nodiscard]] double zro_fraction_of_misses() const {
+    return misses ? static_cast<double>(zro_events) /
+                        static_cast<double>(misses)
+                  : 0.0;
+  }
+  [[nodiscard]] double azro_fraction_of_zros() const {
+    return zro_events ? static_cast<double>(azro_events) /
+                            static_cast<double>(zro_events)
+                      : 0.0;
+  }
+  [[nodiscard]] double pzro_fraction_of_hits() const {
+    return hits ? static_cast<double>(pzro_events) /
+                      static_cast<double>(hits)
+                : 0.0;
+  }
+  [[nodiscard]] double apzro_fraction_of_pzros() const {
+    return pzro_events ? static_cast<double>(apzro_events) /
+                             static_cast<double>(pzro_events)
+                       : 0.0;
+  }
+};
+
+/// Replays `trace` through an LRU cache of `cache_bytes` and labels every
+/// request. Residencies still open at end-of-trace are closed as-is (their
+/// zero-hit insertions count as ZROs; their last hits count as P-ZROs).
+[[nodiscard]] ZroAnalysis analyze_zro(const Trace& trace,
+                                      std::uint64_t cache_bytes);
+
+}  // namespace cdn::analysis

@@ -1,0 +1,17 @@
+// Convenience constructors for the paper's three advised-LRU variants.
+#pragma once
+
+#include "sim/cache.hpp"
+
+namespace cdn {
+
+/// SCIP on LRU victim selection (the paper's headline configuration).
+[[nodiscard]] CachePtr make_scip_lru(std::uint64_t capacity_bytes,
+                                     std::uint64_t seed = 1);
+/// SCI — Algorithm 3's insertion-only ablation.
+[[nodiscard]] CachePtr make_sci_lru(std::uint64_t capacity_bytes,
+                                    std::uint64_t seed = 1);
+/// ASC-IP baseline on the same host cache.
+[[nodiscard]] CachePtr make_ascip_lru(std::uint64_t capacity_bytes);
+
+}  // namespace cdn

@@ -1,0 +1,25 @@
+#include "core/lrb_scip.hpp"
+
+#include <memory>
+
+#include "core/ascip_cache.hpp"
+#include "core/scip_engine.hpp"
+
+namespace cdn {
+
+CachePtr make_lrb_scip(std::uint64_t capacity_bytes, LrbParams params,
+                       std::uint64_t seed) {
+  ScipParams p;
+  p.seed = seed ^ 0x11b5;
+  auto advisor = std::make_shared<ScipAdvisor>(capacity_bytes, p);
+  return std::make_unique<LrbCache>(capacity_bytes, params,
+                                    std::move(advisor));
+}
+
+CachePtr make_lrb_ascip(std::uint64_t capacity_bytes, LrbParams params) {
+  auto advisor = std::make_shared<AscIpAdvisor>(capacity_bytes);
+  return std::make_unique<LrbCache>(capacity_bytes, params,
+                                    std::move(advisor));
+}
+
+}  // namespace cdn

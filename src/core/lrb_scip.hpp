@@ -1,0 +1,21 @@
+// LRB + advisor integrations (Fig. 12, right half).
+//
+// Mapping (documented in DESIGN.md): an "LRU position" decision marks the
+// object eviction-preferred; LRB's sampled eviction treats marked objects
+// as beyond the Belady boundary until a later "MRU" decision clears the
+// mark. Per §4, SCIP can follow LRB's memory window rather than sampling
+// globally — our ScipAdvisor's history lists are already bounded, so the
+// default parameters suffice.
+#pragma once
+
+#include "policies/replacement/lrb.hpp"
+
+namespace cdn {
+
+[[nodiscard]] CachePtr make_lrb_scip(std::uint64_t capacity_bytes,
+                                     LrbParams params = {},
+                                     std::uint64_t seed = 1);
+[[nodiscard]] CachePtr make_lrb_ascip(std::uint64_t capacity_bytes,
+                                      LrbParams params = {});
+
+}  // namespace cdn

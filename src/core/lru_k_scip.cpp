@@ -1,0 +1,24 @@
+#include "core/lru_k_scip.hpp"
+
+#include <memory>
+
+#include "core/ascip_cache.hpp"
+#include "core/scip_engine.hpp"
+#include "policies/replacement/lru_k.hpp"
+
+namespace cdn {
+
+CachePtr make_lru_k_scip(std::uint64_t capacity_bytes, int k,
+                         std::uint64_t seed) {
+  ScipParams p;
+  p.seed = seed ^ 0x5c19;
+  auto advisor = std::make_shared<ScipAdvisor>(capacity_bytes, p);
+  return std::make_unique<LruKCache>(capacity_bytes, k, std::move(advisor));
+}
+
+CachePtr make_lru_k_ascip(std::uint64_t capacity_bytes, int k) {
+  auto advisor = std::make_shared<AscIpAdvisor>(capacity_bytes);
+  return std::make_unique<LruKCache>(capacity_bytes, k, std::move(advisor));
+}
+
+}  // namespace cdn

@@ -1,0 +1,19 @@
+// LRU-K + advisor integrations (Fig. 12, left half).
+//
+// Mapping of the advisor's position decision onto LRU-K (documented in
+// DESIGN.md): an "LRU position" decision withholds the K-history credit for
+// the access, leaving the object in the infinite-backward-distance band
+// with a stale timestamp — LRU-K's equivalent of sitting at the queue's
+// LRU end. An "MRU position" decision records the access normally.
+#pragma once
+
+#include "sim/cache.hpp"
+
+namespace cdn {
+
+[[nodiscard]] CachePtr make_lru_k_scip(std::uint64_t capacity_bytes, int k = 2,
+                                       std::uint64_t seed = 1);
+[[nodiscard]] CachePtr make_lru_k_ascip(std::uint64_t capacity_bytes,
+                                        int k = 2);
+
+}  // namespace cdn

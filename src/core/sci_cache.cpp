@@ -1,0 +1,31 @@
+// SciAdvisor is fully defined in core/scip_engine.hpp (it only overrides
+// the promotion decision of ScipAdvisor). This translation unit anchors a
+// factory used by the registry and keeps the class out-of-line testable.
+#include <memory>
+
+#include "core/ascip_cache.hpp"
+#include "core/scip_cache.hpp"
+#include "core/scip_engine.hpp"
+
+namespace cdn {
+
+CachePtr make_sci_lru(std::uint64_t capacity_bytes, std::uint64_t seed) {
+  ScipParams p;
+  p.seed = seed ^ 0x5c1;
+  return std::make_unique<AdvisedLruCache>(
+      capacity_bytes, std::make_shared<SciAdvisor>(capacity_bytes, p));
+}
+
+CachePtr make_scip_lru(std::uint64_t capacity_bytes, std::uint64_t seed) {
+  ScipParams p;
+  p.seed = seed ^ 0x5c1b;
+  return std::make_unique<AdvisedLruCache>(
+      capacity_bytes, std::make_shared<ScipAdvisor>(capacity_bytes, p));
+}
+
+CachePtr make_ascip_lru(std::uint64_t capacity_bytes) {
+  return std::make_unique<AdvisedLruCache>(
+      capacity_bytes, std::make_shared<AscIpAdvisor>(capacity_bytes));
+}
+
+}  // namespace cdn

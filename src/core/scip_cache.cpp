@@ -1,0 +1,59 @@
+#include "core/scip_cache.hpp"
+
+#include <stdexcept>
+
+namespace cdn {
+
+AdvisedLruCache::AdvisedLruCache(std::uint64_t capacity_bytes,
+                                 std::shared_ptr<InsertionAdvisor> advisor)
+    : QueueCache(capacity_bytes), advisor_(std::move(advisor)) {
+  if (!advisor_) {
+    throw std::invalid_argument("AdvisedLruCache: advisor is required");
+  }
+}
+
+std::string AdvisedLruCache::name() const { return advisor_->tag(); }
+
+void AdvisedLruCache::on_evict(const LruQueue::Node& victim) {
+  advisor_->on_evict(victim.id, victim.size, victim.insert_pos == 1,
+                     victim.hits > 0);
+}
+
+bool AdvisedLruCache::access(const Request& req) {
+  ++tick_;
+  if (LruQueue::Node* node = q_.find(req.id)) {
+    // PROMOTE = REMOVE + INSERT; the removed copy is NOT written to any
+    // history list (Algorithm 1, line 24).
+    LruQueue::Node copy = *node;
+    q_.erase(req.id);
+    const bool mru = advisor_->choose_mru_for_hit(req, copy.hits + 1);
+    LruQueue::Node& n = mru ? q_.insert_mru(req.id, copy.size)
+                            : q_.insert_lru(req.id, copy.size);
+    n.hits = copy.hits + 1;
+    n.insert_tick = copy.insert_tick;
+    n.last_tick = tick_;
+    // insert_pos is set by insert_mru/insert_lru: the new mark decides the
+    // history list the object lands in when eventually evicted.
+    advisor_->on_request(req, true);
+    return true;
+  }
+
+  advisor_->on_miss(req);
+  if (!fits(req.size)) {
+    advisor_->on_request(req, false);
+    return false;
+  }
+  make_room(req.size);  // EVICT -> on_evict -> H_m / H_l
+  const bool mru = advisor_->choose_mru_for_miss(req);
+  LruQueue::Node& n = mru ? q_.insert_mru(req.id, req.size)
+                          : q_.insert_lru(req.id, req.size);
+  n.insert_tick = n.last_tick = tick_;
+  advisor_->on_request(req, false);
+  return false;
+}
+
+std::uint64_t AdvisedLruCache::metadata_bytes() const {
+  return q_.metadata_bytes() + advisor_->metadata_bytes();
+}
+
+}  // namespace cdn

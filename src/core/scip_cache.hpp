@@ -1,0 +1,39 @@
+// AdvisedLruCache: an LRU-victim-selection queue cache whose insertion and
+// promotion positions are delegated to an InsertionAdvisor. With a
+// ScipAdvisor this is the paper's SCIP(-LRU); with SciAdvisor it is the SCI
+// ablation; with AscIpAdvisor it is the ASC-IP baseline.
+//
+// The access path follows Algorithm 1 line by line:
+//   hit  -> PROMOTE: REMOVE from the queue (not recorded in any history
+//           list), then INSERT at the advisor-selected position.
+//   miss -> advisor.on_miss (history-list consultation + weight update);
+//           EVICT until the object fits, each victim routed to H_m/H_l by
+//           its insertion mark; INSERT at the advisor-selected position.
+#pragma once
+
+#include <memory>
+
+#include "sim/advisor.hpp"
+#include "sim/queue_cache.hpp"
+
+namespace cdn {
+
+class AdvisedLruCache final : public QueueCache {
+ public:
+  AdvisedLruCache(std::uint64_t capacity_bytes,
+                  std::shared_ptr<InsertionAdvisor> advisor);
+
+  [[nodiscard]] std::string name() const override;
+  bool access(const Request& req) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  [[nodiscard]] InsertionAdvisor& advisor() { return *advisor_; }
+
+ protected:
+  void on_evict(const LruQueue::Node& victim) override;
+
+ private:
+  std::shared_ptr<InsertionAdvisor> advisor_;
+};
+
+}  // namespace cdn

@@ -1,0 +1,187 @@
+#include "core/scip_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdn {
+
+namespace {
+std::uint64_t half_capacity(std::uint64_t cache_capacity,
+                            const ScipParams& p) {
+  return static_cast<std::uint64_t>(std::max(
+      1.0, p.history_fraction * static_cast<double>(cache_capacity)));
+}
+std::uint64_t monitor_capacity(std::uint64_t cache_capacity,
+                               const ScipParams& p) {
+  return std::max<std::uint64_t>(cache_capacity >> p.monitor_cap_shift, 1);
+}
+}  // namespace
+
+bool ScipAdvisor::ShadowMonitor::access(const Request& req) {
+  if (LruQueue::Node* n = q_.find(req.id)) {
+    ++n->hits;
+    if (mode_ == Mode::kDemoteOnHit && n->hits == 1) {
+      // Conservative P-ZRO expert: a first residency hit is consistent
+      // with a dying pair; a second hit proves liveness.
+      q_.demote_lru(req.id);
+    } else {
+      q_.touch_mru(req.id);
+    }
+    return true;
+  }
+  if (req.size > capacity_) return false;
+  while (q_.used_bytes() + req.size > capacity_ && !q_.empty()) q_.pop_lru();
+  // The "LRU arm" is BIP (epsilon = 1/32 of misses still enter at MRU),
+  // matching what the main cache executes when the duel favors it.
+  if (mode_ == Mode::kBipInsert && !bip_rng_.chance(1.0 / 32.0)) {
+    q_.insert_lru(req.id, req.size);
+  } else {
+    q_.insert_mru(req.id, req.size);
+  }
+  return false;
+}
+
+ScipAdvisor::ScipAdvisor(std::uint64_t cache_capacity, ScipParams params)
+    : params_(params),
+      lr_(params.lr),
+      w_miss_(0.9),
+      w_prom_(0.95),
+      hm_(half_capacity(cache_capacity, params)),
+      hl_(half_capacity(cache_capacity, params)),
+      mon_mru_(monitor_capacity(cache_capacity, params),
+               ShadowMonitor::Mode::kMruInsert),
+      mon_lip_(monitor_capacity(cache_capacity, params),
+               ShadowMonitor::Mode::kBipInsert),
+      mon_mru_prom_(monitor_capacity(cache_capacity, params),
+                    ShadowMonitor::Mode::kMruInsert),
+      mon_demote_(monitor_capacity(cache_capacity, params),
+                  ShadowMonitor::Mode::kDemoteOnHit),
+      rng_(params.seed) {
+  if (monitor_capacity(cache_capacity, params) < params.monitor_min_bytes) {
+    params_.use_monitors = false;
+  }
+  // Neutral miss prior (the duel resolves within a few thousand requests);
+  // MRU-favoring promotion prior — demotion must prove itself first.
+  psel_miss_ = 0;
+  psel_prom_ = params_.prom_psel_max;
+  update_weights_from_psel();
+}
+
+void ScipAdvisor::update_weights_from_psel() {
+  // Bimodal, not graded: the miss-ratio curve over a fixed mixing
+  // probability has an interior maximum between the BIP dip and pure LRU,
+  // so intermediate weights underperform both experts. SELECT therefore
+  // executes the duel winner: pure MRU insertion, or BIP (epsilon of
+  // misses still MRU) when LRU insertion wins; promotions demote with a
+  // small residual epsilon when demotion wins.
+  w_miss_ = psel_miss_ >= params_.miss_threshold
+                ? 1.0
+                : params_.miss_weight_floor;
+  w_prom_ = psel_prom_ >= params_.prom_threshold ? 1.0 : 0.05;
+}
+
+void ScipAdvisor::on_miss(const Request& req) {
+  // Algorithm 1, lines 6-13: consult and DELETE. The history hit adjusts
+  // this object's own placement (per-object override) and nudges the
+  // judged expert's ambient weight through the duel counters.
+  pending_override_ = 0;
+  // Per-object adjustment (§3.2: "the insertion position of the object
+  // should be adjusted"), applied with a probability driven by the
+  // Algorithm-2 learning rate: when overrides help the window hit rate,
+  // lambda grows and they fire more often; when they hurt, it decays.
+  // Ghost evidence deliberately does NOT feed the duel counters — its
+  // event rate is an order of magnitude above the monitors' slice rate and
+  // would drown the paired comparison that anchors the global weights.
+  const double p_apply = std::min(1.0, 2.0 * lr_.lambda());
+  bool was_hit = false;
+  if (hm_.erase(req.id, nullptr, &was_hit)) {
+    if (!params_.per_object_override || !rng_.chance(p_apply)) return;
+    // Hit token False (ASC-IP's ZRO signal): its MRU placement wasted a
+    // full traversal without a single hit — a ZRO. Exile this insertion.
+    // A victim that WAS hit and still evicted was flushed under pressure
+    // (e.g. a scan): demonstrably reusable — keep it at MRU.
+    pending_override_ = was_hit ? +1 : -1;
+    pending_override_id_ = req.id;
+  } else if (hl_.erase(req.id, nullptr, &was_hit)) {
+    if (!params_.per_object_override || !rng_.chance(p_apply)) return;
+    // Its LRU placement threw away a would-be hit.
+    pending_override_ = +1;
+    pending_override_id_ = req.id;
+  }
+}
+
+bool ScipAdvisor::choose_mru_for_miss(const Request& req) {
+  if (pending_override_ != 0 && pending_override_id_ == req.id) {
+    const bool mru = pending_override_ > 0;
+    pending_override_ = 0;
+    ++overrides_;
+    return mru;
+  }
+  return w_miss_ > rng_.uniform();
+}
+
+bool ScipAdvisor::choose_mru_for_hit(const Request& /*req*/,
+                                     std::uint32_t residency_hits) {
+  // Promotion is a special insertion: SELECT over the promotion weights.
+  // An "LIP" outcome re-inserts the hit object near the LRU end — the
+  // treatment of a suspected P-ZRO. The suspicion only applies to the
+  // P-ZRO risk class (first residency hit); proven-live objects promote.
+  if (residency_hits > 1) return true;
+  return w_prom_ > rng_.uniform();
+}
+
+void ScipAdvisor::on_evict(std::uint64_t id, std::uint64_t size,
+                           bool was_mru_inserted, bool had_hits) {
+  // Algorithm 1, lines 15-19 (ADD keeps each list FIFO).
+  if (was_mru_inserted) {
+    hm_.add(id, size, had_hits);
+  } else {
+    hl_.add(id, size, had_hits);
+  }
+}
+
+void ScipAdvisor::on_request(const Request& req, bool hit) {
+  // Feed the shadow-monitor duels from disjoint 1/2^shift traffic slices.
+  if (params_.use_monitors) {
+    const std::uint64_t h = hash64(req.id);
+    const std::uint64_t miss_slice =
+        h & ((1ULL << params_.monitor_slice_shift) - 1);
+    if (miss_slice == 0) {
+      if (!mon_mru_.access(req)) --psel_miss_;
+    } else if (miss_slice == 1) {
+      if (!mon_lip_.access(req)) ++psel_miss_;
+    }
+    const std::uint64_t prom_slice =
+        (h >> params_.monitor_slice_shift) &
+        ((1ULL << params_.monitor_cap_shift) - 1);
+    if (prom_slice == 0) {
+      if (!mon_mru_prom_.access(req)) --psel_prom_;
+    } else if (prom_slice == 1) {
+      if (!mon_demote_.access(req)) ++psel_prom_;
+    }
+    psel_miss_ = std::clamp(psel_miss_, -params_.psel_max, params_.psel_max);
+    psel_prom_ =
+        std::clamp(psel_prom_, -params_.prom_psel_max, params_.prom_psel_max);
+    update_weights_from_psel();
+  }
+
+  // Algorithm 2: adapt lambda (the evidence-nudge magnitude) on the window
+  // hit rate.
+  ++window_requests_;
+  if (hit) ++window_hits_;
+  if (window_requests_ >= params_.update_interval) {
+    lr_.update(static_cast<double>(window_hits_) /
+                   static_cast<double>(window_requests_),
+               rng_);
+    window_hits_ = 0;
+    window_requests_ = 0;
+  }
+}
+
+std::uint64_t ScipAdvisor::metadata_bytes() const {
+  return hm_.metadata_bytes() + hl_.metadata_bytes() +
+         mon_mru_.metadata_bytes() + mon_lip_.metadata_bytes() +
+         mon_mru_prom_.metadata_bytes() + mon_demote_.metadata_bytes() + 192;
+}
+
+}  // namespace cdn

@@ -1,0 +1,163 @@
+// ScipAdvisor — the paper's primary contribution (Algorithms 1-2) as a
+// pluggable InsertionAdvisor.
+//
+// SCIP, as described, learns WHERE to insert missing objects and hit
+// objects (promotion is a special insertion) from shadow-cache feedback.
+// Our implementation composes the paper's three ingredients:
+//
+//  1. History lists (§3.2) — per-object evidence. Two FIFO lists, H_m and
+//     H_l, each logically half the cache, record evicted objects by their
+//     last insertion position (tagged with their hit token). "If a missing
+//     object is hit in the two lists, the insertion position of THE OBJECT
+//     should be adjusted": found in H_l -> it had a chance to hit if
+//     MRU-inserted -> this insertion is forced to MRU; found in H_m -> it
+//     already wasted a full traversal (a ZRO / P-ZRO) -> forced to LRU.
+//     The record is DELETEd either way, and the offending expert's weight
+//     is nudged by exp(-lambda) (Algorithm 1, lines 8/11), with lambda
+//     adapted by Algorithm 2 on the window hit rate.
+//
+//  2. Shadow-monitor duels (§1: "the probability of insertion position is
+//     adjusted based on hit rates in the shadow caches") — global
+//     probabilities. Three sampled shadow monitors (1/32-scale caches fed
+//     by disjoint 1/32 hash slices of the traffic) run the pure experts:
+//     MRU-insertion, LRU-insertion, and MRU-insertion-with-LRU-demotion-
+//     on-hit. Saturating counters of their relative misses set the ambient
+//     execution probabilities w_m (miss insertions) and w_p (promotions),
+//     exactly the set-dueling estimator DIP made standard — the paired
+//     comparison is what makes the learned probability robust to workload
+//     non-stationarity, where sequential hill climbing on the global hit
+//     rate cannot attribute changes to the knob (see DESIGN.md §5 for why
+//     this reconstruction choice was necessary).
+//
+//  3. Unified treatment of hits (§3.3): a hit object is REMOVEd and
+//     re-inserted through the same bimodal SELECT, with its own weight
+//     pair learned from the promotion duel. An "LIP" outcome parks the
+//     suspected P-ZRO at the LRU end.
+#pragma once
+
+#include <memory>
+
+#include "ml/mab.hpp"
+#include "sim/advisor.hpp"
+#include "sim/ghost_list.hpp"
+#include "sim/lru_queue.hpp"
+
+namespace cdn {
+
+struct ScipParams {
+  ml::LearningRateParams lr{};
+  std::size_t update_interval = 10'000;  ///< the paper's i (lambda window)
+  double history_fraction = 0.5;         ///< each list's share of capacity
+  /// Floor on the miss-insertion weight: even when the duel fully favors
+  /// LRU insertion, a small epsilon of misses still goes to MRU — this is
+  /// exactly BIP's bimodal epsilon (the paper builds its insertion arm on
+  /// BIP, §3.1), and it is what keeps admission alive under LIP-favoring
+  /// phases. The promotion weight has no floor: demoting random hot
+  /// objects is pure loss, and the monitors explore on their own slices.
+  double miss_weight_floor = 1.0 / 32.0;
+  bool per_object_override = true;       ///< mechanism 1 (ablation switch)
+  bool use_monitors = true;              ///< mechanism 2 (ablation switch)
+  /// Monitors sample 2^-slice_shift of traffic into caches of
+  /// capacity >> cap_shift. Giving the monitors twice the relative capacity
+  /// (slice 1/64, capacity 1/32) de-noises the duel: byte caches at tiny
+  /// scale are dominated by a handful of large objects otherwise.
+  int monitor_slice_shift = 6;
+  int monitor_cap_shift = 5;
+  /// Monitors below this capacity are statistically meaningless for CDN
+  /// object sizes (a handful of objects); the duels are disabled and SCIP
+  /// degrades gracefully to per-object history adjustments on plain LRU.
+  std::uint64_t monitor_min_bytes = 2ULL << 20;
+  int psel_max = 1024;       ///< miss-duel counter saturation
+  int miss_threshold = -16;  ///< flip to BIP insertion on decisive evidence
+  int prom_psel_max = 128;   ///< promotion duel saturates tighter: demotion
+                             ///< phases are short, recovery must be fast
+  int prom_threshold = -96;  ///< demote only on near-unanimous evidence
+  std::uint64_t seed = 47;
+};
+
+class ScipAdvisor : public InsertionAdvisor {
+ public:
+  ScipAdvisor(std::uint64_t cache_capacity, ScipParams params = {});
+
+  void on_miss(const Request& req) override;
+  bool choose_mru_for_miss(const Request& req) override;
+  bool choose_mru_for_hit(const Request& req,
+                          std::uint32_t residency_hits) override;
+  void on_evict(std::uint64_t id, std::uint64_t size, bool was_mru_inserted,
+                bool had_hits) override;
+  void on_request(const Request& req, bool hit) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+  [[nodiscard]] const char* tag() const override { return "SCIP"; }
+
+  // Introspection (tests, ablations, trajectory plots).
+  [[nodiscard]] double w_mip() const noexcept { return w_miss_; }
+  [[nodiscard]] double w_mip_promotion() const noexcept { return w_prom_; }
+  [[nodiscard]] double lambda() const noexcept { return lr_.lambda(); }
+  [[nodiscard]] std::size_t hm_count() const noexcept { return hm_.count(); }
+  [[nodiscard]] std::size_t hl_count() const noexcept { return hl_.count(); }
+  [[nodiscard]] std::uint64_t override_count() const noexcept {
+    return overrides_;
+  }
+
+ private:
+  /// A 1/2^shift-scale cache fed one hash slice, running one pure expert.
+  class ShadowMonitor {
+   public:
+    enum class Mode { kMruInsert, kBipInsert, kDemoteOnHit };
+    ShadowMonitor(std::uint64_t capacity, Mode mode)
+        : capacity_(capacity), mode_(mode) {}
+    /// Returns true on hit.
+    bool access(const Request& req);
+    [[nodiscard]] std::uint64_t metadata_bytes() const {
+      return q_.metadata_bytes();
+    }
+
+   private:
+    std::uint64_t capacity_;
+    Mode mode_;
+    LruQueue q_;
+    Rng bip_rng_{0xb1b0};
+  };
+
+  void update_weights_from_psel();
+
+  ScipParams params_;
+  ml::AdaptiveLearningRate lr_;  ///< Algorithm 2 on the nudge magnitude
+  double w_miss_;
+  double w_prom_;
+  GhostList hm_;
+  GhostList hl_;
+  // Miss duel: 1/64 slices into 1/32-capacity monitors (the DIP ratio).
+  ShadowMonitor mon_mru_;
+  ShadowMonitor mon_lip_;
+  // Promotion duel: exact-scale monitors (1/32 slices into 1/32 capacity).
+  // Oversized monitors distort byte-cache geometry (a loop that thrashes
+  // the real cache can fit a 2x-relative monitor), which flips this duel
+  // the wrong way; the miss duel is robust to it, the promotion duel not.
+  ShadowMonitor mon_mru_prom_;
+  ShadowMonitor mon_demote_;
+  int psel_miss_ = 0;  ///< >0 favors MRU insertion
+  int psel_prom_ = 0;  ///< >0 favors MRU promotion
+  Rng rng_;
+  // One-shot per-object override armed by on_miss for the object about to
+  // be inserted: +1 force MRU, -1 force LRU, 0 none.
+  int pending_override_ = 0;
+  std::uint64_t pending_override_id_ = 0;
+  std::uint64_t overrides_ = 0;
+  std::uint64_t window_hits_ = 0;
+  std::uint64_t window_requests_ = 0;
+};
+
+/// SCI (Algorithm 3): the ablation without the promotion half — hit objects
+/// always go back to the MRU position; misses keep the full machinery.
+class SciAdvisor final : public ScipAdvisor {
+ public:
+  using ScipAdvisor::ScipAdvisor;
+  bool choose_mru_for_hit(const Request& /*req*/,
+                          std::uint32_t /*residency_hits*/) override {
+    return true;
+  }
+  [[nodiscard]] const char* tag() const override { return "SCI"; }
+};
+
+}  // namespace cdn

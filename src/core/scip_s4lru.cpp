@@ -1,0 +1,119 @@
+#include "core/scip_s4lru.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/scip_engine.hpp"
+
+namespace cdn {
+
+ScipS4LruCache::ScipS4LruCache(std::uint64_t capacity_bytes,
+                               std::shared_ptr<InsertionAdvisor> advisor)
+    : Cache(capacity_bytes), advisor_(std::move(advisor)) {
+  if (!advisor_) {
+    throw std::invalid_argument("ScipS4LruCache: advisor is required");
+  }
+  for (auto& c : seg_cap_) c = capacity_bytes / kLevels;
+  seg_cap_[0] += capacity_bytes - (capacity_bytes / kLevels) * kLevels;
+}
+
+std::string ScipS4LruCache::name() const {
+  return std::string("S4LRU-") + advisor_->tag();
+}
+
+std::uint64_t ScipS4LruCache::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : seg_) total += s.used_bytes();
+  return total;
+}
+
+void ScipS4LruCache::rebalance() {
+  for (int i = kLevels - 1; i >= 1; --i) {
+    auto& s = seg_[static_cast<std::size_t>(i)];
+    while (s.used_bytes() > seg_cap_[static_cast<std::size_t>(i)] &&
+           s.count() > 1) {
+      LruQueue::Node n = s.pop_lru();
+      LruQueue::Node& moved =
+          seg_[static_cast<std::size_t>(i - 1)].insert_mru(n.id, n.size);
+      moved.hits = n.hits;
+      moved.insert_pos = n.insert_pos;
+      moved.insert_tick = n.insert_tick;
+      moved.last_tick = n.last_tick;
+      level_[n.id] = static_cast<std::uint8_t>(i - 1);
+    }
+  }
+  while (seg_[0].used_bytes() > seg_cap_[0] && !seg_[0].empty()) {
+    const LruQueue::Node n = seg_[0].pop_lru();
+    level_.erase(n.id);
+    advisor_->on_evict(n.id, n.size, n.insert_pos == 1, n.hits > 0);
+  }
+  while (used_bytes() > capacity_) {
+    for (auto& s : seg_) {
+      if (!s.empty()) {
+        const LruQueue::Node n = s.pop_lru();
+        level_.erase(n.id);
+        advisor_->on_evict(n.id, n.size, n.insert_pos == 1, n.hits > 0);
+        break;
+      }
+    }
+  }
+}
+
+bool ScipS4LruCache::access(const Request& req) {
+  ++tick_;
+  auto it = level_.find(req.id);
+  if (it != level_.end()) {
+    const int cur = it->second;
+    LruQueue::Node moved{};
+    seg_[static_cast<std::size_t>(cur)].erase(req.id, &moved);
+    const bool mru = advisor_->choose_mru_for_hit(req, moved.hits + 1);
+    if (mru) {
+      const int dst = std::min(cur + 1, kLevels - 1);
+      LruQueue::Node& n =
+          seg_[static_cast<std::size_t>(dst)].insert_mru(req.id, moved.size);
+      n.hits = moved.hits + 1;
+      n.insert_tick = moved.insert_tick;
+      n.last_tick = tick_;
+      it->second = static_cast<std::uint8_t>(dst);
+    } else {
+      // P-ZRO treatment: straight to the global eviction frontier.
+      LruQueue::Node& n = seg_[0].insert_lru(req.id, moved.size);
+      n.hits = moved.hits + 1;
+      n.insert_tick = moved.insert_tick;
+      n.last_tick = tick_;
+      it->second = 0;
+    }
+    rebalance();
+    advisor_->on_request(req, true);
+    return true;
+  }
+
+  advisor_->on_miss(req);
+  if (!fits(req.size)) {
+    advisor_->on_request(req, false);
+    return false;
+  }
+  const bool mru = advisor_->choose_mru_for_miss(req);
+  LruQueue::Node& n = mru ? seg_[0].insert_mru(req.id, req.size)
+                          : seg_[0].insert_lru(req.id, req.size);
+  n.insert_tick = n.last_tick = tick_;
+  level_[req.id] = 0;
+  rebalance();
+  advisor_->on_request(req, false);
+  return false;
+}
+
+std::uint64_t ScipS4LruCache::metadata_bytes() const {
+  std::uint64_t total = level_.size() * 48 + advisor_->metadata_bytes();
+  for (const auto& s : seg_) total += s.metadata_bytes();
+  return total;
+}
+
+CachePtr make_s4lru_scip(std::uint64_t capacity_bytes, std::uint64_t seed) {
+  ScipParams p;
+  p.seed = seed ^ 0x545c;
+  return std::make_unique<ScipS4LruCache>(
+      capacity_bytes, std::make_shared<ScipAdvisor>(capacity_bytes, p));
+}
+
+}  // namespace cdn

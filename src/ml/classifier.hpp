@@ -1,0 +1,31 @@
+// Common interface of the Fig. 4 batch classifiers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace cdn::ml {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on (features, 0/1 labels).
+  virtual void fit(const Dataset& train, Rng& rng) = 0;
+
+  /// Positive-class score in [0, 1].
+  [[nodiscard]] virtual double predict_proba(const float* row) const = 0;
+
+  [[nodiscard]] bool predict(const float* row) const {
+    return predict_proba(row) >= 0.5;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Parameter memory, for the resource comparisons.
+  [[nodiscard]] virtual std::uint64_t model_bytes() const = 0;
+};
+
+}  // namespace cdn::ml

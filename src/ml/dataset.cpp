@@ -1,0 +1,97 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdn::ml {
+
+void Dataset::add_row(std::span<const float> features, float label) {
+  if (n_features_ == 0) n_features_ = features.size();
+  if (features.size() != n_features_) {
+    throw std::invalid_argument("Dataset::add_row: feature width mismatch");
+  }
+  x_.insert(x_.end(), features.begin(), features.end());
+  y_.push_back(label);
+}
+
+void Dataset::shuffle(Rng& rng) {
+  const std::size_t n = rows();
+  if (n < 2) return;
+  std::vector<float> tmp(n_features_);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    if (i == j) continue;
+    float* ri = row(i);
+    float* rj = row(j);
+    std::copy(ri, ri + n_features_, tmp.data());
+    std::copy(rj, rj + n_features_, ri);
+    std::copy(tmp.data(), tmp.data() + n_features_, rj);
+    std::swap(y_[i], y_[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double frac) const {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const std::size_t n = rows();
+  const auto cut = static_cast<std::size_t>(frac * static_cast<double>(n));
+  Dataset a(n_features_);
+  Dataset b(n_features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& dst = i < cut ? a : b;
+    dst.add_row(std::span<const float>(row(i), n_features_), y_[i]);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+double Dataset::positive_rate() const {
+  if (y_.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (float v : y_) {
+    if (v >= 0.5f) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(y_.size());
+}
+
+void Scaler::fit(const Dataset& ds) {
+  const std::size_t f = ds.features();
+  means_.assign(f, 0.0f);
+  inv_sds_.assign(f, 1.0f);
+  const std::size_t n = ds.rows();
+  if (n == 0) return;
+  std::vector<double> mean(f, 0.0);
+  std::vector<double> m2(f, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = ds.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double delta = r[j] - mean[j];
+      mean[j] += delta / static_cast<double>(i + 1);
+      m2[j] += delta * (r[j] - mean[j]);
+    }
+  }
+  for (std::size_t j = 0; j < f; ++j) {
+    means_[j] = static_cast<float>(mean[j]);
+    const double var = n > 1 ? m2[j] / static_cast<double>(n - 1) : 0.0;
+    inv_sds_[j] = static_cast<float>(1.0 / std::max(std::sqrt(var), 1e-6));
+  }
+}
+
+void Scaler::transform(Dataset& ds) const {
+  assert(ds.features() == means_.size());
+  const std::size_t n = ds.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    float* r = ds.row(i);
+    transform_row(r, r);
+  }
+}
+
+void Scaler::transform_row(const float* in, float* out) const {
+  for (std::size_t j = 0; j < means_.size(); ++j) {
+    // Winsorize at +-10 sigma: a near-constant column yields a huge
+    // 1/sd, and unclamped z-scores in the 1e5 range make SGD diverge.
+    out[j] = std::clamp((in[j] - means_[j]) * inv_sds_[j], -10.0f, 10.0f);
+  }
+}
+
+}  // namespace cdn::ml

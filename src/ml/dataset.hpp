@@ -1,0 +1,73 @@
+// Dense row-major dataset + feature scaling for the mini-ML substrate.
+//
+// The ML stack exists for two reasons: (1) the Fig. 4 model comparison
+// (LinReg / LogReg / SVM / NN / GBM / MAB classifying ZROs and P-ZROs) and
+// (2) the learned baselines the paper compares against — LRB's next-access
+// regressor and GL-Cache's group-utility model — both built on the GBM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdn::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t n_features) : n_features_(n_features) {}
+
+  void add_row(std::span<const float> features, float label);
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return n_features_ ? x_.size() / n_features_ : 0;
+  }
+  [[nodiscard]] std::size_t features() const noexcept { return n_features_; }
+  [[nodiscard]] const float* row(std::size_t i) const {
+    return x_.data() + i * n_features_;
+  }
+  [[nodiscard]] float* row(std::size_t i) {
+    return x_.data() + i * n_features_;
+  }
+  [[nodiscard]] float label(std::size_t i) const { return y_[i]; }
+  [[nodiscard]] const std::vector<float>& labels() const noexcept {
+    return y_;
+  }
+  void set_label(std::size_t i, float v) { y_[i] = v; }
+
+  /// In-place Fisher-Yates row shuffle.
+  void shuffle(Rng& rng);
+
+  /// Splits into (first `frac` of rows, rest). Rows keep their order.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double frac) const;
+
+  /// Fraction of labels >= 0.5 (positive-class base rate).
+  [[nodiscard]] double positive_rate() const;
+
+ private:
+  std::size_t n_features_ = 0;
+  std::vector<float> x_;
+  std::vector<float> y_;
+};
+
+/// Per-feature standardization fitted on a training set, applied to rows
+/// at inference time (z = (x - mean) / sd, sd floor 1e-6).
+class Scaler {
+ public:
+  void fit(const Dataset& ds);
+  void transform(Dataset& ds) const;
+  void transform_row(const float* in, float* out) const;
+  [[nodiscard]] std::size_t features() const noexcept {
+    return means_.size();
+  }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> inv_sds_;
+};
+
+}  // namespace cdn::ml

@@ -1,0 +1,276 @@
+#include "ml/gbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cdn::ml {
+
+namespace {
+inline double sigmoid(double z) {
+  if (z > 30.0) return 1.0;
+  if (z < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+}  // namespace
+
+/// Column-major matrix of uint8 bin codes plus the raw-value edge table.
+struct Gbm::BinnedMatrix {
+  std::size_t n_rows = 0;
+  std::size_t n_features = 0;
+  std::vector<std::uint8_t> codes;  ///< feature-major: codes[f*n_rows + i]
+
+  [[nodiscard]] std::uint8_t code(std::size_t row, std::size_t f) const {
+    return codes[f * n_rows + row];
+  }
+};
+
+void Gbm::fit(const Dataset& train, Rng& rng) {
+  trees_.clear();
+  bin_edges_.clear();
+  const std::size_t n = train.rows();
+  const std::size_t f = train.features();
+  if (n == 0 || f == 0) {
+    base_score_ = 0.0;
+    return;
+  }
+  const int n_bins = std::clamp(params_.n_bins, 2, 256);
+
+  // --- Quantile bin edges per feature (from up to 4096 sampled values).
+  bin_edges_.resize(f);
+  {
+    const std::size_t sample_n = std::min<std::size_t>(n, 4096);
+    std::vector<float> vals(sample_n);
+    for (std::size_t j = 0; j < f; ++j) {
+      for (std::size_t s = 0; s < sample_n; ++s) {
+        const std::size_t i = sample_n == n ? s : rng.below(n);
+        vals[s] = train.row(i)[j];
+      }
+      std::sort(vals.begin(), vals.end());
+      auto& edges = bin_edges_[j];
+      edges.clear();
+      for (int b = 1; b < n_bins; ++b) {
+        const auto idx = static_cast<std::size_t>(
+            static_cast<double>(b) / n_bins * static_cast<double>(sample_n));
+        const float e = vals[std::min(idx, sample_n - 1)];
+        if (edges.empty() || e > edges.back()) edges.push_back(e);
+      }
+    }
+  }
+
+  // --- Bin the training matrix (feature-major for cache-friendly hists).
+  BinnedMatrix mat;
+  mat.n_rows = n;
+  mat.n_features = f;
+  mat.codes.resize(n * f);
+  for (std::size_t j = 0; j < f; ++j) {
+    const auto& edges = bin_edges_[j];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = train.row(i)[j];
+      // lower_bound keeps the binned rule "code <= b" equivalent to the
+      // raw-feature rule "v <= edges[b]" used at inference time.
+      const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+      mat.codes[j * n + i] = static_cast<std::uint8_t>(it - edges.begin());
+    }
+  }
+
+  // --- Base score.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += train.label(i);
+  mean /= static_cast<double>(n);
+  if (params_.loss == GbmParams::Loss::kLogistic) {
+    const double p = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    base_score_ = std::log(p / (1.0 - p));
+  } else {
+    base_score_ = mean;
+  }
+
+  // --- Boosting.
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  std::vector<std::uint32_t> rows;
+  rows.reserve(n);
+
+  for (int t = 0; t < params_.n_trees; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y = train.label(i);
+      if (params_.loss == GbmParams::Loss::kLogistic) {
+        const double p = sigmoid(pred[i]);
+        grad[i] = p - y;
+        hess[i] = std::max(p * (1.0 - p), 1e-9);
+      } else {
+        grad[i] = pred[i] - y;
+        hess[i] = 1.0;
+      }
+    }
+    rows.clear();
+    if (params_.subsample >= 1.0) {
+      for (std::uint32_t i = 0; i < n; ++i) rows.push_back(i);
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (rng.chance(params_.subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(static_cast<std::uint32_t>(rng.below(n)));
+    }
+    Tree tree;
+    build_tree(tree, mat, rows, grad, hess, 0);
+    // Update predictions with the new tree.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t node = 0;
+      while (tree[static_cast<std::size_t>(node)].left >= 0) {
+        const Node& nd = tree[static_cast<std::size_t>(node)];
+        node = mat.code(i, static_cast<std::size_t>(nd.feature)) <=
+                       nd.bin_threshold
+                   ? nd.left
+                   : nd.right;
+      }
+      pred[i] += tree[static_cast<std::size_t>(node)].value;
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+void Gbm::build_tree(Tree& tree, const BinnedMatrix& mat,
+                     std::vector<std::uint32_t>& rows,
+                     const std::vector<double>& grad,
+                     const std::vector<double>& hess, int depth) {
+  // Iterative node expansion with an explicit stack of (node, row-range).
+  struct Work {
+    std::int32_t node;
+    std::size_t begin, end;  // range in `rows`
+    int depth;
+  };
+  tree.clear();
+  tree.push_back(Node{});
+  std::vector<Work> stack{{0, 0, rows.size(), depth}};
+  const double lam = params_.lambda;
+  const double lr = params_.learning_rate;
+
+  // Per-bin accumulators reused across nodes.
+  const int n_bins = std::clamp(params_.n_bins, 2, 256);
+  std::vector<double> hg(static_cast<std::size_t>(n_bins));
+  std::vector<double> hh(static_cast<std::size_t>(n_bins));
+  std::vector<std::uint32_t> hc(static_cast<std::size_t>(n_bins));
+
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+
+    double gsum = 0.0;
+    double hsum = 0.0;
+    for (std::size_t k = w.begin; k < w.end; ++k) {
+      gsum += grad[rows[k]];
+      hsum += hess[rows[k]];
+    }
+    const std::size_t count = w.end - w.begin;
+    auto make_leaf = [&] {
+      tree[static_cast<std::size_t>(w.node)].value =
+          static_cast<float>(-lr * gsum / (hsum + lam));
+    };
+    if (w.depth >= params_.max_depth ||
+        count < 2 * params_.min_samples_leaf) {
+      make_leaf();
+      continue;
+    }
+
+    // Best split over all features/bins.
+    double best_gain = 1e-12;
+    int best_f = -1;
+    int best_bin = -1;
+    const double parent_score = gsum * gsum / (hsum + lam);
+    for (std::size_t j = 0; j < mat.n_features; ++j) {
+      if (bin_edges_[j].empty()) continue;
+      std::fill(hg.begin(), hg.end(), 0.0);
+      std::fill(hh.begin(), hh.end(), 0.0);
+      std::fill(hc.begin(), hc.end(), 0u);
+      for (std::size_t k = w.begin; k < w.end; ++k) {
+        const std::uint32_t i = rows[k];
+        const std::uint8_t c = mat.code(i, j);
+        hg[c] += grad[i];
+        hh[c] += hess[i];
+        ++hc[c];
+      }
+      double gl = 0.0;
+      double hl = 0.0;
+      std::uint64_t cl = 0;
+      const int max_bin = static_cast<int>(bin_edges_[j].size());
+      for (int b = 0; b < max_bin; ++b) {
+        gl += hg[static_cast<std::size_t>(b)];
+        hl += hh[static_cast<std::size_t>(b)];
+        cl += hc[static_cast<std::size_t>(b)];
+        const std::uint64_t cr = count - cl;
+        if (cl < params_.min_samples_leaf || cr < params_.min_samples_leaf) {
+          continue;
+        }
+        const double gr = gsum - gl;
+        const double hr = hsum - hl;
+        const double gain =
+            gl * gl / (hl + lam) + gr * gr / (hr + lam) - parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_f = static_cast<int>(j);
+          best_bin = b;
+        }
+      }
+    }
+    if (best_f < 0) {
+      make_leaf();
+      continue;
+    }
+
+    // Partition rows in-place.
+    std::size_t mid = w.begin;
+    for (std::size_t k = w.begin; k < w.end; ++k) {
+      if (mat.code(rows[k], static_cast<std::size_t>(best_f)) <=
+          static_cast<std::uint8_t>(best_bin)) {
+        std::swap(rows[k], rows[mid]);
+        ++mid;
+      }
+    }
+
+    Node& nd = tree[static_cast<std::size_t>(w.node)];
+    nd.feature = static_cast<std::int16_t>(best_f);
+    nd.bin_threshold = static_cast<std::uint8_t>(best_bin);
+    nd.split_value =
+        bin_edges_[static_cast<std::size_t>(best_f)]
+                  [static_cast<std::size_t>(best_bin)];
+    nd.left = static_cast<std::int32_t>(tree.size());
+    tree.push_back(Node{});
+    // Note: push_back may reallocate; re-access through the index.
+    tree[static_cast<std::size_t>(w.node)].right =
+        static_cast<std::int32_t>(tree.size());
+    tree.push_back(Node{});
+    const std::int32_t left = tree[static_cast<std::size_t>(w.node)].left;
+    const std::int32_t right = tree[static_cast<std::size_t>(w.node)].right;
+    stack.push_back(Work{right, mid, w.end, w.depth + 1});
+    stack.push_back(Work{left, w.begin, mid, w.depth + 1});
+  }
+}
+
+double Gbm::predict_raw(const float* row) const {
+  double score = base_score_;
+  for (const auto& tree : trees_) {
+    std::int32_t node = 0;
+    while (tree[static_cast<std::size_t>(node)].left >= 0) {
+      const Node& nd = tree[static_cast<std::size_t>(node)];
+      node = row[nd.feature] <= nd.split_value ? nd.left : nd.right;
+    }
+    score += tree[static_cast<std::size_t>(node)].value;
+  }
+  return score;
+}
+
+double Gbm::predict(const float* row) const {
+  const double raw = predict_raw(row);
+  return params_.loss == GbmParams::Loss::kLogistic ? sigmoid(raw) : raw;
+}
+
+std::uint64_t Gbm::model_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& t : trees_) bytes += t.size() * sizeof(Node);
+  for (const auto& e : bin_edges_) bytes += e.size() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace cdn::ml

@@ -1,0 +1,91 @@
+#include "ml/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdn::ml {
+
+namespace {
+
+inline double dot(const std::vector<float>& w, const float* x) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < w.size(); ++j) s += w[j] * x[j];
+  return s;
+}
+
+inline double sigmoid(double z) {
+  // Clamp the logit: exp() of large magnitudes produces inf/denormal
+  // arithmetic that is both numerically useless and 10-100x slower.
+  if (z > 30.0) return 1.0;
+  if (z < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+// Shared SGD loop; `grad_out` maps the margin to the loss gradient d(loss)/dz.
+template <typename GradFn>
+void sgd_fit(const Dataset& train, Rng& rng, const LinearParams& params,
+             Scaler& scaler, std::vector<float>& w, float& b, GradFn grad_out) {
+  const std::size_t f = train.features();
+  const std::size_t n = train.rows();
+  scaler.fit(train);
+  w.assign(f, 0.0f);
+  b = 0.0f;
+  if (n == 0) return;
+  std::vector<float> z(f);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (int e = 0; e < params.epochs; ++e) {
+    // Fisher-Yates reshuffle each epoch.
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.below(i + 1)]);
+    }
+    const double lr = params.learning_rate / (1.0 + 0.5 * e);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = order[k];
+      scaler.transform_row(train.row(i), z.data());
+      const double margin = dot(w, z.data()) + b;
+      // Gradient clipping: one bad step must not blow up the weights.
+      const double g =
+          std::clamp(grad_out(margin, train.label(i)), -100.0, 100.0);
+      for (std::size_t j = 0; j < f; ++j) {
+        w[j] -= static_cast<float>(lr * (g * z[j] + params.l2 * w[j]));
+      }
+      b -= static_cast<float>(lr * g);
+    }
+  }
+}
+
+}  // namespace
+
+void LinReg::fit(const Dataset& train, Rng& rng) {
+  sgd_fit(train, rng, params_, scaler_, w_, b_,
+          [](double margin, float y) { return 2.0 * (margin - y); });
+}
+
+double LinReg::predict_proba(const float* row) const {
+  std::vector<float> z(w_.size());
+  scaler_.transform_row(row, z.data());
+  return std::clamp(dot(w_, z.data()) + b_, 0.0, 1.0);
+}
+
+std::uint64_t LinReg::model_bytes() const {
+  return (w_.size() + 1) * sizeof(float) + 2 * w_.size() * sizeof(float);
+}
+
+void LogReg::fit(const Dataset& train, Rng& rng) {
+  sgd_fit(train, rng, params_, scaler_, w_, b_, [](double margin, float y) {
+    return sigmoid(margin) - y;  // d(logloss)/dz
+  });
+}
+
+double LogReg::predict_proba(const float* row) const {
+  std::vector<float> z(w_.size());
+  scaler_.transform_row(row, z.data());
+  return sigmoid(dot(w_, z.data()) + b_);
+}
+
+std::uint64_t LogReg::model_bytes() const {
+  return (w_.size() + 1) * sizeof(float) + 2 * w_.size() * sizeof(float);
+}
+
+}  // namespace cdn::ml

@@ -1,0 +1,52 @@
+// Linear models: least-squares linear regression used as a classifier
+// (thresholded at 0.5, as in the paper's Fig. 4 "LinReg") and logistic
+// regression ("LogReg"). Both are trained with mini-batch SGD on
+// standardized features; the scaler is fitted inside fit() so callers pass
+// raw feature rows at inference time.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace cdn::ml {
+
+struct LinearParams {
+  int epochs = 10;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+};
+
+/// Linear regression on the 0/1 labels, squared loss.
+class LinReg final : public BinaryClassifier {
+ public:
+  explicit LinReg(LinearParams p = {}) : params_(p) {}
+  void fit(const Dataset& train, Rng& rng) override;
+  [[nodiscard]] double predict_proba(const float* row) const override;
+  [[nodiscard]] std::string name() const override { return "LinReg"; }
+  [[nodiscard]] std::uint64_t model_bytes() const override;
+
+ private:
+  LinearParams params_;
+  Scaler scaler_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+/// Logistic regression, log loss.
+class LogReg final : public BinaryClassifier {
+ public:
+  explicit LogReg(LinearParams p = {}) : params_(p) {}
+  void fit(const Dataset& train, Rng& rng) override;
+  [[nodiscard]] double predict_proba(const float* row) const override;
+  [[nodiscard]] std::string name() const override { return "LogReg"; }
+  [[nodiscard]] std::uint64_t model_bytes() const override;
+
+ private:
+  LinearParams params_;
+  Scaler scaler_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+}  // namespace cdn::ml

@@ -1,0 +1,163 @@
+#include "ml/mab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdn::ml {
+
+AdaptiveLearningRate::AdaptiveLearningRate(LearningRateParams p)
+    : params_(p),
+      lambda_(p.initial),
+      prev_lambda_(p.initial),
+      // Seed lambda_{t-2i} slightly off so the first delta is non-zero and
+      // the hill climber has a direction to follow.
+      prev_prev_lambda_(p.initial * 0.9) {}
+
+void AdaptiveLearningRate::update(double hit_rate, Rng& rng) {
+  if (prev_hit_rate_ < 0.0) {
+    prev_hit_rate_ = hit_rate;  // first window only records Pi_{t-i}
+    return;
+  }
+  // Algorithm 2.
+  const double delta_hr = hit_rate - prev_hit_rate_;        // Delta_t
+  const double delta_lam = prev_lambda_ - prev_prev_lambda_;  // delta_t
+  double next = lambda_;
+  if (delta_lam != 0.0) {
+    const double grad = delta_hr / delta_lam;
+    if (grad > 0.0) {
+      next = std::min(prev_lambda_ + prev_lambda_ * grad, params_.max_lambda);
+    } else {
+      next = std::max(prev_lambda_ + prev_lambda_ * grad, params_.min_lambda);
+    }
+    unlearn_count_ = 0;
+  } else {
+    if (hit_rate == 0.0 || delta_hr <= 0.0) ++unlearn_count_;
+    if (unlearn_count_ >= params_.unlearn_limit) {
+      unlearn_count_ = 0;
+      next = rng.uniform(params_.min_lambda, params_.max_lambda);
+      ++restarts_;
+    }
+  }
+  prev_prev_lambda_ = prev_lambda_;
+  prev_lambda_ = next;
+  lambda_ = next;
+  prev_hit_rate_ = hit_rate;
+}
+
+BimodalBandit::BimodalBandit(LearningRateParams p, double weight_floor)
+    : lr_(p), floor_(std::clamp(weight_floor, 0.0, 0.49)) {}
+
+bool BimodalBandit::select_mip(Rng& rng) const {
+  // SELECT((MIP, LIP), (w_m, w_l), gamma): MIP iff w_m > gamma.
+  return w_m_ > rng.uniform();
+}
+
+void BimodalBandit::renormalize() {
+  const double sum = w_m_ + w_l_;
+  // Guard against both weights underflowing simultaneously.
+  if (sum <= 1e-300) {
+    w_m_ = w_l_ = 0.5;
+    return;
+  }
+  w_m_ /= sum;
+  w_l_ = 1.0 - w_m_;
+  // Exploration floor: keep both experts selectable (and thus refutable).
+  if (w_m_ < floor_) w_m_ = floor_;
+  if (w_m_ > 1.0 - floor_) w_m_ = 1.0 - floor_;
+  w_l_ = 1.0 - w_m_;
+}
+
+void BimodalBandit::penalize_mip() {
+  w_m_ *= std::exp(-lr_.lambda());
+  renormalize();
+}
+
+void BimodalBandit::penalize_lip() {
+  w_l_ *= std::exp(-lr_.lambda());
+  renormalize();
+}
+
+ProbabilityHillClimber::ProbabilityHillClimber(double initial, double lo,
+                                               double hi,
+                                               LearningRateParams p)
+    : lo_(lo),
+      hi_(hi),
+      value_(std::clamp(initial, lo, hi)),
+      step_(std::max(0.02, 0.1 * (hi - lo))),
+      params_(p) {}
+
+void ProbabilityHillClimber::update(double hit_rate, Rng& rng) {
+  if (prev_hit_rate_ < 0.0) {
+    prev_hit_rate_ = hit_rate;
+    return;
+  }
+  const double delta = hit_rate - prev_hit_rate_;
+  prev_hit_rate_ = hit_rate;
+  if (delta > 0.0) {
+    // Improvement: keep the direction, grow the step (Algorithm 2's
+    // lambda amplification when the gradient is positive).
+    step_ = std::min(step_ * 1.3, 0.25 * (hi_ - lo_));
+    unlearn_count_ = 0;
+  } else if (delta < 0.0) {
+    // Degradation: reverse and damp.
+    direction_ = -direction_;
+    step_ = std::max(step_ * 0.5, 0.01 * (hi_ - lo_));
+    ++unlearn_count_;
+  } else {
+    ++unlearn_count_;
+  }
+  if (unlearn_count_ >= params_.unlearn_limit) {
+    unlearn_count_ = 0;
+    ++restarts_;
+    value_ = rng.uniform(lo_, hi_);
+    step_ = std::max(0.02, 0.1 * (hi_ - lo_));
+    direction_ = rng.chance(0.5) ? 1 : -1;
+    return;
+  }
+  value_ += static_cast<double>(direction_) * step_;
+  if (value_ > hi_) {
+    value_ = hi_;
+    direction_ = -1;
+  } else if (value_ < lo_) {
+    value_ = lo_;
+    direction_ = 1;
+  }
+}
+
+Exp3Bandit::Exp3Bandit(std::size_t arms, double gamma)
+    : weights_(arms, 1.0), gamma_(std::clamp(gamma, 0.0, 1.0)) {}
+
+double Exp3Bandit::probability(std::size_t arm) const {
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  const double k = static_cast<double>(weights_.size());
+  return (1.0 - gamma_) * weights_[arm] / sum + gamma_ / k;
+}
+
+std::size_t Exp3Bandit::select(Rng& rng) {
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  const double k = static_cast<double>(weights_.size());
+  double u = rng.uniform();
+  for (std::size_t a = 0; a < weights_.size(); ++a) {
+    const double p = (1.0 - gamma_) * weights_[a] / sum + gamma_ / k;
+    if (u < p) return a;
+    u -= p;
+  }
+  return weights_.size() - 1;
+}
+
+void Exp3Bandit::reward(std::size_t arm, double r) {
+  r = std::clamp(r, 0.0, 1.0);
+  const double p = probability(arm);
+  const double k = static_cast<double>(weights_.size());
+  weights_[arm] *= std::exp(gamma_ * r / (p * k));
+  // Rescale to avoid overflow on long runs.
+  double mx = 0.0;
+  for (double w : weights_) mx = std::max(mx, w);
+  if (mx > 1e100) {
+    for (double& w : weights_) w /= mx;
+  }
+}
+
+}  // namespace cdn::ml

@@ -1,0 +1,139 @@
+// Multi-Armed Bandit learners.
+//
+// Two flavors:
+//  * `BimodalBandit` — the paper's two-expert learner (§3.3): arms MIP and
+//    LIP with execution probabilities (w_m, w_l), multiplicative penalty
+//    w *= exp(-lambda) on evidence against an arm, renormalization so
+//    w_m + w_l == 1, and the adaptive learning rate of Algorithm 2
+//    (gradient-based stochastic hill climbing with random restarts).
+//    This is the exact engine inside SCIP; it is exposed here so the Fig. 4
+//    comparison can run the same learner as an online classifier.
+//  * `Exp3Bandit` — a generic K-armed adversarial bandit used by the
+//    DGIPPR baseline's expert selection and available to users.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdn::ml {
+
+/// Parameters of the Algorithm-2 learning-rate controller.
+struct LearningRateParams {
+  double initial = 0.3;
+  double min_lambda = 0.001;
+  double max_lambda = 1.0;
+  int unlearn_limit = 10;  ///< restarts after this many stagnant windows
+};
+
+/// Adaptive learning rate: lambda_t follows the sign and magnitude of
+/// (delta hit-rate) / (delta lambda) between update windows (Algorithm 2).
+class AdaptiveLearningRate {
+ public:
+  explicit AdaptiveLearningRate(LearningRateParams p = {});
+
+  /// Called once per update interval with the window's average hit rate.
+  void update(double hit_rate, Rng& rng);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] int restarts() const noexcept { return restarts_; }
+
+ private:
+  LearningRateParams params_;
+  double lambda_;
+  double prev_lambda_;       ///< lambda_{t-i}
+  double prev_prev_lambda_;  ///< lambda_{t-2i}
+  double prev_hit_rate_ = -1.0;  ///< Pi_{t-i}; <0 marks "no window yet"
+  int unlearn_count_ = 0;
+  int restarts_ = 0;
+};
+
+/// The paper's two-armed learner over (MIP, LIP).
+///
+/// Weights are floored at `weight_floor` after every renormalization: a
+/// standard multiplicative-weights guard without which one arm underflows
+/// to zero and can never recover (the losing expert stops generating the
+/// shadow-list evidence that could rehabilitate it). The floor plays the
+/// same role as BIP's epsilon: both positions stay observable.
+class BimodalBandit {
+ public:
+  explicit BimodalBandit(LearningRateParams p = {},
+                         double weight_floor = 0.01);
+
+  /// Draws an arm: true = MIP (insert at MRU), false = LIP (insert at LRU).
+  [[nodiscard]] bool select_mip(Rng& rng) const;
+
+  /// Evidence that MRU insertion wasted space (missing object found in H_m):
+  /// w_m *= exp(-lambda), then renormalize.
+  void penalize_mip();
+  /// Evidence that LRU insertion lost a hit (missing object found in H_l).
+  void penalize_lip();
+
+  /// Window boundary: feed the average hit rate to Algorithm 2.
+  void update_learning_rate(double hit_rate, Rng& rng) {
+    lr_.update(hit_rate, rng);
+  }
+
+  [[nodiscard]] double w_mip() const noexcept { return w_m_; }
+  [[nodiscard]] double w_lip() const noexcept { return w_l_; }
+  [[nodiscard]] double lambda() const noexcept { return lr_.lambda(); }
+  [[nodiscard]] int restarts() const noexcept { return lr_.restarts(); }
+
+ private:
+  void renormalize();
+  AdaptiveLearningRate lr_;
+  double floor_;
+  double w_m_ = 0.5;
+  double w_l_ = 0.5;
+};
+
+/// Gradient-based stochastic hill climbing of a probability in [lo, hi]
+/// against a noisy objective (the window hit rate) — the §3.3 learner that
+/// "relates the selection probability and hit rates". Per window: keep
+/// stepping the probability in the same direction while the objective
+/// improves, reverse and shrink the step otherwise (the Algorithm-2 rule,
+/// with lambda playing the step size), and jump to a random restart after
+/// `unlearn_limit` windows of sustained decline.
+class ProbabilityHillClimber {
+ public:
+  ProbabilityHillClimber(double initial, double lo, double hi,
+                         LearningRateParams p = {});
+
+  /// Window boundary: feed the window's average hit rate.
+  void update(double hit_rate, Rng& rng);
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double step() const noexcept { return step_; }
+  [[nodiscard]] int restarts() const noexcept { return restarts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double value_;
+  double step_;
+  int direction_ = 1;
+  double prev_hit_rate_ = -1.0;
+  int unlearn_count_ = 0;
+  int restarts_ = 0;
+  LearningRateParams params_;
+};
+
+/// EXP3 with K arms (importance-weighted multiplicative updates).
+class Exp3Bandit {
+ public:
+  Exp3Bandit(std::size_t arms, double gamma = 0.1);
+
+  [[nodiscard]] std::size_t select(Rng& rng);
+  /// Rewards the arm chosen by the matching select() call, reward in [0,1].
+  void reward(std::size_t arm, double r);
+
+  [[nodiscard]] std::size_t arms() const noexcept { return weights_.size(); }
+  [[nodiscard]] double probability(std::size_t arm) const;
+
+ private:
+  std::vector<double> weights_;
+  double gamma_;
+};
+
+}  // namespace cdn::ml

@@ -1,0 +1,92 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cdn::ml {
+
+ClassificationReport report_from_scores(const std::vector<double>& raw_scores,
+                                        const std::vector<float>& labels) {
+  ClassificationReport rep;
+  rep.n = raw_scores.size();
+  if (rep.n == 0 || raw_scores.size() != labels.size()) return rep;
+
+  // Sanitize: a NaN score would break std::sort's strict weak ordering
+  // (quadratic or non-terminating behaviour) besides being meaningless.
+  std::vector<double> scores(raw_scores);
+  for (double& s : scores) {
+    if (!std::isfinite(s)) s = 0.5;
+  }
+
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+  for (std::size_t i = 0; i < rep.n; ++i) {
+    const bool pred = scores[i] >= 0.5;
+    const bool truth = labels[i] >= 0.5f;
+    if (pred && truth) {
+      ++tp;
+    } else if (pred && !truth) {
+      ++fp;
+    } else if (!pred && !truth) {
+      ++tn;
+    } else {
+      ++fn;
+    }
+  }
+  rep.accuracy = static_cast<double>(tp + tn) / static_cast<double>(rep.n);
+  rep.precision = tp + fp ? static_cast<double>(tp) /
+                                static_cast<double>(tp + fp)
+                          : 0.0;
+  rep.recall =
+      tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  rep.f1 = rep.precision + rep.recall > 0.0
+               ? 2.0 * rep.precision * rep.recall /
+                     (rep.precision + rep.recall)
+               : 0.0;
+
+  // AUC via the rank-sum (Mann-Whitney) formulation with tie handling.
+  std::vector<std::size_t> order(rep.n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  std::size_t i = 0;
+  while (i < rep.n) {
+    std::size_t j = i;
+    while (j < rep.n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] >= 0.5f) {
+        rank_sum_pos += avg_rank;
+        ++n_pos;
+      }
+    }
+    i = j;
+  }
+  const std::size_t n_neg = rep.n - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    rep.auc = 0.5;
+  } else {
+    rep.auc = (rank_sum_pos -
+               static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1) /
+                   2.0) /
+              (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  }
+  return rep;
+}
+
+ClassificationReport evaluate(const BinaryClassifier& model,
+                              const Dataset& test) {
+  std::vector<double> scores(test.rows());
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    scores[i] = model.predict_proba(test.row(i));
+  }
+  return report_from_scores(scores, test.labels());
+}
+
+}  // namespace cdn::ml

@@ -1,0 +1,29 @@
+// Classification metrics for the Fig. 4 model comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace cdn::ml {
+
+struct ClassificationReport {
+  std::size_t n = 0;
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double auc = 0.0;
+};
+
+/// Evaluates a trained classifier on a labeled test set.
+[[nodiscard]] ClassificationReport evaluate(const BinaryClassifier& model,
+                                            const Dataset& test);
+
+/// Report from pre-computed scores (e.g. the online MAB's decisions).
+[[nodiscard]] ClassificationReport report_from_scores(
+    const std::vector<double>& scores, const std::vector<float>& labels);
+
+}  // namespace cdn::ml

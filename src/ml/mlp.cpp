@@ -1,0 +1,98 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdn::ml {
+
+namespace {
+inline double sigmoid(double z) {
+  // Clamp the logit: exp() of large magnitudes produces inf/denormal
+  // arithmetic that is both numerically useless and 10-100x slower.
+  if (z > 30.0) return 1.0;
+  if (z < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+}  // namespace
+
+void Mlp::fit(const Dataset& train, Rng& rng) {
+  in_ = train.features();
+  const std::size_t h = params_.hidden;
+  const std::size_t n = train.rows();
+  scaler_.fit(train);
+
+  // He initialization for the ReLU layer.
+  const auto init1 = static_cast<float>(std::sqrt(2.0 / std::max<std::size_t>(in_, 1)));
+  const auto init2 = static_cast<float>(std::sqrt(2.0 / std::max<std::size_t>(h, 1)));
+  w1_.resize(h * in_);
+  for (auto& w : w1_) w = static_cast<float>(rng.normal()) * init1;
+  b1_.assign(h, 0.0f);
+  w2_.resize(h);
+  for (auto& w : w2_) w = static_cast<float>(rng.normal()) * init2;
+  b2_ = 0.0f;
+  if (n == 0) return;
+
+  std::vector<float> z(in_);
+  std::vector<float> hidden(h);
+  std::vector<float> grad_hidden(h);
+
+  for (int e = 0; e < params_.epochs; ++e) {
+    const double lr = params_.learning_rate / (1.0 + 0.3 * e);
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = rng.below(n);
+      scaler_.transform_row(train.row(i), z.data());
+      // Forward.
+      for (std::size_t u = 0; u < h; ++u) {
+        double a = b1_[u];
+        const float* wrow = &w1_[u * in_];
+        for (std::size_t j = 0; j < in_; ++j) a += wrow[j] * z[j];
+        hidden[u] = a > 0.0 ? static_cast<float>(a) : 0.0f;
+      }
+      double out = b2_;
+      for (std::size_t u = 0; u < h; ++u) out += w2_[u] * hidden[u];
+      const double p = sigmoid(out);
+      double gout = p - train.label(i);  // d(logloss)/d(out)
+      // Gradient clipping keeps a bad mini-step from blowing up the
+      // network (and the run time, via denormal arithmetic).
+      gout = std::clamp(gout, -4.0, 4.0);
+      // Backward.
+      for (std::size_t u = 0; u < h; ++u) {
+        grad_hidden[u] =
+            hidden[u] > 0.0f ? static_cast<float>(gout * w2_[u]) : 0.0f;
+        w2_[u] -= static_cast<float>(
+            lr * (gout * hidden[u] + params_.l2 * w2_[u]));
+      }
+      b2_ -= static_cast<float>(lr * gout);
+      for (std::size_t u = 0; u < h; ++u) {
+        if (grad_hidden[u] == 0.0f) continue;
+        float* wrow = &w1_[u * in_];
+        const float g = grad_hidden[u];
+        for (std::size_t j = 0; j < in_; ++j) {
+          wrow[j] -= static_cast<float>(
+              lr * (g * z[j] + params_.l2 * wrow[j]));
+        }
+        b1_[u] -= static_cast<float>(lr * g);
+      }
+    }
+  }
+}
+
+double Mlp::predict_proba(const float* row) const {
+  std::vector<float> z(in_);
+  scaler_.transform_row(row, z.data());
+  const std::size_t h = w2_.size();
+  double out = b2_;
+  for (std::size_t u = 0; u < h; ++u) {
+    double a = b1_[u];
+    const float* wrow = &w1_[u * in_];
+    for (std::size_t j = 0; j < in_; ++j) a += wrow[j] * z[j];
+    if (a > 0.0) out += w2_[u] * a;
+  }
+  return sigmoid(out);
+}
+
+std::uint64_t Mlp::model_bytes() const {
+  return (w1_.size() + b1_.size() + w2_.size() + 1 + 2 * in_) * sizeof(float);
+}
+
+}  // namespace cdn::ml

@@ -1,0 +1,40 @@
+// Fully connected neural network with one hidden layer (the paper's "NN
+// with 1024 neurons"), ReLU activation and a sigmoid output, trained with
+// mini-batch SGD on log loss. The hidden width is configurable; the Fig. 4
+// bench uses 1024 on the (sub-sampled) training set to match the paper,
+// tests use small widths for speed.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace cdn::ml {
+
+struct MlpParams {
+  std::size_t hidden = 1024;
+  int epochs = 5;
+  std::size_t batch = 64;
+  double learning_rate = 0.01;
+  double l2 = 1e-5;
+};
+
+class Mlp final : public BinaryClassifier {
+ public:
+  explicit Mlp(MlpParams p = {}) : params_(p) {}
+  void fit(const Dataset& train, Rng& rng) override;
+  [[nodiscard]] double predict_proba(const float* row) const override;
+  [[nodiscard]] std::string name() const override { return "NN"; }
+  [[nodiscard]] std::uint64_t model_bytes() const override;
+
+ private:
+  MlpParams params_;
+  Scaler scaler_;
+  std::size_t in_ = 0;
+  std::vector<float> w1_;  ///< hidden x in
+  std::vector<float> b1_;  ///< hidden
+  std::vector<float> w2_;  ///< hidden
+  float b2_ = 0.0f;
+};
+
+}  // namespace cdn::ml

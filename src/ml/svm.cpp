@@ -1,0 +1,51 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+
+namespace cdn::ml {
+
+void LinearSvm::fit(const Dataset& train, Rng& rng) {
+  const std::size_t f = train.features();
+  const std::size_t n = train.rows();
+  scaler_.fit(train);
+  w_.assign(f, 0.0f);
+  b_ = 0.0f;
+  if (n == 0) return;
+  std::vector<float> z(f);
+  std::uint64_t t = 0;
+  for (int e = 0; e < params_.epochs; ++e) {
+    for (std::size_t k = 0; k < n; ++k) {
+      ++t;
+      const std::size_t i = rng.below(n);
+      scaler_.transform_row(train.row(i), z.data());
+      const double y = train.label(i) >= 0.5f ? 1.0 : -1.0;
+      double margin = b_;
+      for (std::size_t j = 0; j < f; ++j) margin += w_[j] * z[j];
+      const double eta =
+          1.0 / (params_.lambda * static_cast<double>(t));
+      // w <- (1 - eta*lambda) w  [+ eta*y*x if margin violated]
+      const auto shrink = static_cast<float>(1.0 - eta * params_.lambda);
+      for (auto& wj : w_) wj *= shrink;
+      if (y * margin < 1.0) {
+        for (std::size_t j = 0; j < f; ++j) {
+          w_[j] += static_cast<float>(eta * y * z[j]);
+        }
+        b_ += static_cast<float>(eta * y * 0.1);  // lightly-regularized bias
+      }
+    }
+  }
+}
+
+double LinearSvm::predict_proba(const float* row) const {
+  std::vector<float> z(w_.size());
+  scaler_.transform_row(row, z.data());
+  double margin = b_;
+  for (std::size_t j = 0; j < w_.size(); ++j) margin += w_[j] * z[j];
+  return 1.0 / (1.0 + std::exp(-margin));
+}
+
+std::uint64_t LinearSvm::model_bytes() const {
+  return (w_.size() + 1) * sizeof(float) + 2 * w_.size() * sizeof(float);
+}
+
+}  // namespace cdn::ml

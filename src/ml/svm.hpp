@@ -1,0 +1,32 @@
+// Linear soft-margin SVM trained with the Pegasos stochastic sub-gradient
+// method (hinge loss + L2). predict_proba squashes the margin through a
+// sigmoid so the classifier plugs into the shared >= 0.5 decision rule.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace cdn::ml {
+
+struct SvmParams {
+  int epochs = 10;
+  double lambda = 1e-4;  ///< L2 regularization strength
+};
+
+class LinearSvm final : public BinaryClassifier {
+ public:
+  explicit LinearSvm(SvmParams p = {}) : params_(p) {}
+  void fit(const Dataset& train, Rng& rng) override;
+  [[nodiscard]] double predict_proba(const float* row) const override;
+  [[nodiscard]] std::string name() const override { return "SVM"; }
+  [[nodiscard]] std::uint64_t model_bytes() const override;
+
+ private:
+  SvmParams params_;
+  Scaler scaler_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+}  // namespace cdn::ml

@@ -1,0 +1,42 @@
+// AdaptSize (Berger, Sitaraman, Harchol-Balter; NSDI 2017), §7's
+// size-aware admission policy: a missing object of size s is admitted with
+// probability exp(-s / c), and the cutoff c is tuned online so the byte
+// hit ratio climbs.
+//
+// The original tunes c with a Markov cache model; we tune it with the same
+// gradient-based stochastic hill climbing machinery the paper's Algorithm 2
+// uses (our ProbabilityHillClimber over log2(c)), which preserves the
+// adaptive behaviour without the offline model.
+#pragma once
+
+#include "ml/mab.hpp"
+#include "sim/queue_cache.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+
+class AdaptSizeCache final : public QueueCache {
+ public:
+  explicit AdaptSizeCache(std::uint64_t capacity_bytes,
+                          std::uint64_t seed = 61);
+
+  [[nodiscard]] std::string name() const override { return "AdaptSize"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return q_.metadata_bytes() + 128;
+  }
+
+  /// Current admission cutoff c in bytes.
+  [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+
+ private:
+  ml::ProbabilityHillClimber log_cutoff_;  ///< climbs log2(c) in [10, 30]
+  double cutoff_;
+  Rng rng_;
+  std::uint64_t window_hit_bytes_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  static constexpr std::uint64_t kWindow = 20'000;
+  std::uint64_t window_requests_ = 0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,35 @@
+#include "policies/admission/tinylfu.hpp"
+
+namespace cdn {
+
+TinyLfuCache::TinyLfuCache(std::uint64_t capacity_bytes)
+    : QueueCache(capacity_bytes) {}
+
+bool TinyLfuCache::access(const Request& req) {
+  ++tick_;
+  sketch_.add(req.id);
+  if (LruQueue::Node* n = q_.find(req.id)) {
+    ++n->hits;
+    n->last_tick = tick_;
+    q_.touch_mru(req.id);
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  // Admission duel against the coldest resident: the candidate must be at
+  // least as popular as what it would push out.
+  if (!q_.empty() && q_.used_bytes() + req.size > capacity_) {
+    const std::uint8_t candidate = sketch_.estimate(req.id);
+    const std::uint8_t victim = sketch_.estimate(q_.lru_id());
+    if (candidate < victim) {
+      ++rejections_;
+      return false;
+    }
+  }
+  ++admissions_;
+  make_room(req.size);
+  LruQueue::Node& n = q_.insert_mru(req.id, req.size);
+  n.insert_tick = n.last_tick = tick_;
+  return false;
+}
+
+}  // namespace cdn

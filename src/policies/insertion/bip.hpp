@@ -1,0 +1,27 @@
+// BIP — Bimodal Insertion Policy (Qureshi et al., ISCA 2007): like LIP but
+// with a small probability epsilon the missing object is inserted at the
+// MRU position, which lets the cache retain part of a working set larger
+// than itself and gives suspected zero-reuse objects a second chance —
+// exactly the property SCIP builds on (§3.1).
+#pragma once
+
+#include "sim/queue_cache.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+
+class BipCache final : public QueueCache {
+ public:
+  explicit BipCache(std::uint64_t capacity_bytes, double epsilon = 1.0 / 32.0,
+                    std::uint64_t seed = 29)
+      : QueueCache(capacity_bytes), epsilon_(epsilon), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "BIP"; }
+  bool access(const Request& req) override;
+
+ private:
+  double epsilon_;
+  Rng rng_;
+};
+
+}  // namespace cdn

@@ -1,0 +1,40 @@
+// DAAIP — Deadblock Aware Adaptive Insertion Policy (Mahto, Pai, Singh;
+// ICCD 2017).
+//
+// A dead-block predictor (table of 2-bit counters keyed by an object
+// signature) learns which objects tend to die without reuse: an eviction
+// with zero residency hits strengthens the "dead" prediction, a reuse
+// weakens it. Missing objects predicted dead are inserted at the LRU
+// position; additionally — DAAIP's distinguishing promotion rule — a hit
+// object that is still predicted dead is not promoted to MRU (it moves one
+// step only), bounding the damage of mispredicted promotions.
+#pragma once
+
+#include <vector>
+
+#include "sim/queue_cache.hpp"
+
+namespace cdn {
+
+class DaaipCache final : public QueueCache {
+ public:
+  explicit DaaipCache(std::uint64_t capacity_bytes,
+                      std::size_t table_size = 16384);
+
+  [[nodiscard]] std::string name() const override { return "DAAIP"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return q_.metadata_bytes() + dead_.size();
+  }
+
+ protected:
+  void on_evict(const LruQueue::Node& victim) override;
+
+ private:
+  [[nodiscard]] std::size_t signature(std::uint64_t id) const;
+  std::vector<std::uint8_t> dead_;  ///< 2-bit deadness counters
+  static constexpr std::uint8_t kMax = 3;
+  static constexpr std::uint8_t kDeadThreshold = 2;
+};
+
+}  // namespace cdn

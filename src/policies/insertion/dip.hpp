@@ -1,0 +1,39 @@
+// DIP — Dynamic Insertion Policy (Qureshi et al., ISCA 2007).
+//
+// DIP set-duels LRU(MRU-insertion) against BIP and lets the winner steer
+// the main cache. Hardware DIP dedicates leader *sets*; an object cache has
+// no sets, so we use the standard sampling adaptation: two small monitor
+// caches (1/32 of the capacity each) receive the sampled request slices
+// hash(id) % 64 == 0 and == 1, one running MRU-insertion, one BIP. A
+// saturating policy-selector counter (PSEL) counts their misses against
+// each other and the full-size main cache follows the current winner.
+#pragma once
+
+#include "policies/insertion/bip.hpp"
+#include "policies/replacement/lru.hpp"
+#include "sim/queue_cache.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+
+class DipCache final : public QueueCache {
+ public:
+  explicit DipCache(std::uint64_t capacity_bytes, std::uint64_t seed = 31);
+
+  [[nodiscard]] std::string name() const override { return "DIP"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// True while BIP is winning the duel (exposed for tests).
+  [[nodiscard]] bool bip_winning() const noexcept { return psel_ < 0; }
+
+ private:
+  LruCache monitor_lru_;
+  BipCache monitor_bip_;
+  int psel_ = 0;  ///< >0: LRU winning; <0: BIP winning
+  static constexpr int kPselMax = 1024;
+  double epsilon_ = 1.0 / 32.0;
+  Rng rng_;
+};
+
+}  // namespace cdn

@@ -1,0 +1,20 @@
+#include "policies/insertion/lip.hpp"
+
+namespace cdn {
+
+bool LipCache::access(const Request& req) {
+  ++tick_;
+  if (LruQueue::Node* n = q_.find(req.id)) {
+    ++n->hits;
+    n->last_tick = tick_;
+    q_.touch_mru(req.id);
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  make_room(req.size);
+  LruQueue::Node& n = q_.insert_lru(req.id, req.size);
+  n.insert_tick = n.last_tick = tick_;
+  return false;
+}
+
+}  // namespace cdn

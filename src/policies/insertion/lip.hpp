@@ -1,0 +1,20 @@
+// LIP — LRU Insertion Policy (Qureshi et al., ISCA 2007): every missing
+// object is inserted at the LRU position; only a hit promotes it to MRU.
+// The weakest baseline in Fig. 8: non-ZRO objects inserted at LRU are often
+// evicted before their reuse arrives.
+#pragma once
+
+#include "sim/queue_cache.hpp"
+
+namespace cdn {
+
+class LipCache final : public QueueCache {
+ public:
+  explicit LipCache(std::uint64_t capacity_bytes)
+      : QueueCache(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "LIP"; }
+  bool access(const Request& req) override;
+};
+
+}  // namespace cdn

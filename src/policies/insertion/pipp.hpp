@@ -1,0 +1,31 @@
+// PIPP — Promotion/Insertion Pseudo-Partitioning (Xie & Loh, ISCA 2009).
+//
+// PIPP partitions a multicore shared cache by giving each core an insertion
+// position and promoting hit objects a single step toward MRU. In the
+// single-stream CDN setting we keep the two mechanisms the paper discusses
+// (§1): insertion near the LRU end and one-step promotion on hit — the
+// paper's critique being precisely that one-step promotion still leaves
+// P-ZROs crawling through a large CDN queue. Promotion happens with
+// probability p_prom (PIPP's stochastic promotion, default 3/4).
+#pragma once
+
+#include "sim/queue_cache.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+
+class PippCache final : public QueueCache {
+ public:
+  explicit PippCache(std::uint64_t capacity_bytes, double p_prom = 0.75,
+                     std::uint64_t seed = 37)
+      : QueueCache(capacity_bytes), p_prom_(p_prom), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "PIPP"; }
+  bool access(const Request& req) override;
+
+ private:
+  double p_prom_;
+  Rng rng_;
+};
+
+}  // namespace cdn

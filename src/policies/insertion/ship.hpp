@@ -1,0 +1,42 @@
+// SHiP — Signature-based Hit Predictor (Wu et al., MICRO 2011).
+//
+// A table of saturating counters (SHCT), indexed by an object signature,
+// records whether past objects with that signature were reused before
+// eviction: a reused object increments its signature's counter, an eviction
+// without reuse decrements it. A missing object whose signature counter is
+// zero is predicted zero-reuse and inserted at the LRU position ("distant
+// re-reference" in the RRIP formulation), otherwise at MRU.
+//
+// CDN adaptation: hardware SHiP keys the SHCT by instruction PC, which does
+// not exist for object caches; we hash the object id into the table, so
+// popular ids accumulate their own reuse statistics while the long tail
+// shares entries (noted in DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "sim/queue_cache.hpp"
+
+namespace cdn {
+
+class ShipCache final : public QueueCache {
+ public:
+  explicit ShipCache(std::uint64_t capacity_bytes,
+                     std::size_t table_size = 16384);
+
+  [[nodiscard]] std::string name() const override { return "SHiP"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return q_.metadata_bytes() + shct_.size();
+  }
+
+ protected:
+  void on_evict(const LruQueue::Node& victim) override;
+
+ private:
+  [[nodiscard]] std::size_t signature(std::uint64_t id) const;
+  std::vector<std::uint8_t> shct_;  ///< 3-bit saturating counters
+  static constexpr std::uint8_t kMax = 7;
+};
+
+}  // namespace cdn

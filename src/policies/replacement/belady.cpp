@@ -1,0 +1,42 @@
+#include "policies/replacement/belady.hpp"
+
+#include <stdexcept>
+
+namespace cdn {
+
+void BeladyCache::evict_until_fits(std::uint64_t size) {
+  while (!order_.empty() && used_bytes_ + size > capacity_) {
+    const auto it = std::prev(order_.end());  // furthest next access
+    const std::uint64_t id = it->second;
+    order_.erase(it);
+    auto oit = objects_.find(id);
+    used_bytes_ -= oit->second.size;
+    objects_.erase(oit);
+  }
+}
+
+bool BeladyCache::access(const Request& req) {
+  if (req.next < 0) {
+    throw std::runtime_error(
+        "BeladyCache: trace not annotated; run annotate_next_access()");
+  }
+  auto it = objects_.find(req.id);
+  if (it != objects_.end()) {
+    Obj& o = it->second;
+    order_.erase({o.next, req.id});
+    o.next = req.next;
+    order_.insert({o.next, req.id});
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  // Never-again objects would be evicted before anything else could ever
+  // be; skipping the insertion is behaviour-identical and cheaper.
+  if (req.next == Request::kNoNext) return false;
+  evict_until_fits(req.size);
+  objects_.emplace(req.id, Obj{req.size, req.next});
+  order_.insert({req.next, req.id});
+  used_bytes_ += req.size;
+  return false;
+}
+
+}  // namespace cdn

@@ -1,0 +1,72 @@
+#include "policies/replacement/cacheus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdn {
+
+CacheusCache::CacheusCache(std::uint64_t capacity_bytes, std::uint64_t seed)
+    : LeCarCache(capacity_bytes, seed, /*learning_rate=*/0.3,
+                 /*discount=*/0.005) {}
+
+void CacheusCache::on_window() {
+  if (window_requests_ == 0) return;
+  const double hr = static_cast<double>(window_hits_) /
+                    static_cast<double>(window_requests_);
+  window_hits_ = 0;
+  window_requests_ = 0;
+  if (prev_hit_rate_ < 0.0) {
+    prev_hit_rate_ = hr;
+    prev_lr_delta_ = learning_rate_ * 0.1;
+    return;
+  }
+  const double delta_hr = hr - prev_hit_rate_;
+  prev_hit_rate_ = hr;
+  // Follow the gradient: keep moving lambda the way that helped, reverse
+  // otherwise; restart after prolonged stagnation (CACHEUS lr update).
+  if (std::abs(delta_hr) < 1e-4) {
+    if (++stagnant_windows_ >= 10) {
+      stagnant_windows_ = 0;
+      learning_rate_ = rng_.uniform(0.05, 0.9);
+      prev_lr_delta_ = learning_rate_ * 0.1;
+    }
+    return;
+  }
+  stagnant_windows_ = 0;
+  const double step = (delta_hr > 0.0 ? 1.0 : -1.0) *
+                      (prev_lr_delta_ >= 0.0 ? 1.0 : -1.0) *
+                      std::max(std::abs(prev_lr_delta_), 1e-3);
+  const double next = std::clamp(learning_rate_ + step, 0.001, 1.0);
+  prev_lr_delta_ = next - learning_rate_;
+  learning_rate_ = next;
+}
+
+void CacheusCache::evict_one() {
+  const bool use_lru = rng_.uniform() < w_lru_;
+  std::uint64_t victim_id = 0;
+  if (use_lru) {
+    // SR-LRU: among the oldest few objects, drain never-hit (scan) objects
+    // before anything that has shown reuse.
+    victim_id = q_.lru_id();
+    int scanned = 0;
+    q_.for_each_from_lru([&](const LruQueue::Node& n) {
+      if (n.hits == 0) {
+        victim_id = n.id;
+        return false;
+      }
+      return ++scanned < 8;
+    });
+  } else {
+    victim_id = std::get<2>(*lfu_order_.begin());
+  }
+  evict_id(victim_id, use_lru);
+}
+
+bool CacheusCache::access(const Request& req) {
+  ++window_requests_;
+  const bool hit = LeCarCache::access(req);
+  if (hit) ++window_hits_;
+  return hit;
+}
+
+}  // namespace cdn

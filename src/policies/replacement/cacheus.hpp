@@ -1,0 +1,42 @@
+// CACHEUS (Rodriguez et al., FAST 2021): the successor of LeCaR with
+// (1) an adaptive learning rate that follows the hit-rate gradient instead
+// of a fixed constant, and (2) scan-resistant experts.
+//
+// Reconstruction: we keep LeCaR's two-expert regret machinery and add
+//  * adaptive lambda — per 64K-request window, the learning rate moves in
+//    the direction that improved the window hit rate (doubling/halving,
+//    with a random restart after prolonged stagnation), mirroring the
+//    CACHEUS lr update and, incidentally, the paper's Algorithm 2;
+//  * SR-LRU — the recency expert skips over never-hit objects' burst:
+//    the LRU-side victim scan prefers the first zero-hit object among the
+//    oldest few, making one-shot scans drain before reused objects.
+#pragma once
+
+#include "policies/replacement/lecar.hpp"
+
+namespace cdn {
+
+class CacheusCache final : public LeCarCache {
+ public:
+  explicit CacheusCache(std::uint64_t capacity_bytes, std::uint64_t seed = 17);
+
+  [[nodiscard]] std::string name() const override { return "CACHEUS"; }
+  bool access(const Request& req) override;
+
+  [[nodiscard]] double learning_rate() const noexcept {
+    return learning_rate_;
+  }
+
+ protected:
+  void on_window() override;
+  void evict_one() override;
+
+ private:
+  std::uint64_t window_hits_ = 0;
+  std::uint64_t window_requests_ = 0;
+  double prev_hit_rate_ = -1.0;
+  double prev_lr_delta_ = 0.0;
+  int stagnant_windows_ = 0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,45 @@
+#include "policies/replacement/gdsf.hpp"
+
+namespace cdn {
+
+double GdsfCache::priority_of(const Obj& o) const {
+  // Frequency-weighted cost per byte on top of the aging clock. The 1e6
+  // scale keeps priorities of multi-MB objects well above double epsilon.
+  return clock_l_ + static_cast<double>(o.freq) * 1e6 /
+                        static_cast<double>(o.size);
+}
+
+void GdsfCache::evict_until_fits(std::uint64_t size) {
+  while (!order_.empty() && used_bytes_ + size > capacity_) {
+    const auto [prio, id] = *order_.begin();
+    order_.erase(order_.begin());
+    clock_l_ = prio;  // GreedyDual aging
+    auto it = objects_.find(id);
+    used_bytes_ -= it->second.size;
+    objects_.erase(it);
+  }
+}
+
+bool GdsfCache::access(const Request& req) {
+  auto it = objects_.find(req.id);
+  if (it != objects_.end()) {
+    Obj& o = it->second;
+    order_.erase({o.priority, req.id});
+    ++o.freq;
+    o.priority = priority_of(o);
+    order_.emplace(o.priority, req.id);
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  evict_until_fits(req.size);
+  Obj o;
+  o.size = req.size;
+  o.freq = 1;
+  o.priority = priority_of(o);
+  objects_.emplace(req.id, o);
+  order_.emplace(o.priority, req.id);
+  used_bytes_ += req.size;
+  return false;
+}
+
+}  // namespace cdn

@@ -1,0 +1,48 @@
+// GreedyDual-Size-Frequency (Cherkasova & Ciardo, 2001): each object gets
+// priority H = L + frequency * cost / size with cost = 1 (uniform miss
+// penalty); eviction removes the minimum-H object and raises the global
+// inflation value L to the evicted priority, aging everything else.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "sim/cache.hpp"
+
+namespace cdn {
+
+class GdsfCache final : public Cache {
+ public:
+  explicit GdsfCache(std::uint64_t capacity_bytes)
+      : Cache(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "GDSF"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] bool contains(std::uint64_t id) const override {
+    return objects_.count(id) != 0;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return used_bytes_;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return objects_.size() * (sizeof(Obj) + 48 + 64);
+  }
+
+  [[nodiscard]] double inflation() const noexcept { return clock_l_; }
+
+ private:
+  struct Obj {
+    std::uint64_t size = 0;
+    std::uint64_t freq = 0;
+    double priority = 0.0;
+  };
+  [[nodiscard]] double priority_of(const Obj& o) const;
+  void evict_until_fits(std::uint64_t size);
+
+  std::unordered_map<std::uint64_t, Obj> objects_;
+  std::set<std::pair<double, std::uint64_t>> order_;  ///< (priority, id)
+  std::uint64_t used_bytes_ = 0;
+  double clock_l_ = 0.0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,183 @@
+#include "policies/replacement/gl_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cdn {
+
+GlCache::GlCache(std::uint64_t capacity_bytes, GlCacheParams params)
+    : Cache(capacity_bytes), params_(params), gbm_(params.gbm),
+      rng_(params.seed) {}
+
+GlCache::Segment& GlCache::open_segment() {
+  auto it = segments_.find(open_seg_);
+  if (it != segments_.end() &&
+      it->second.members.size() < params_.segment_objects) {
+    return it->second;
+  }
+  Segment s;
+  s.seg_id = next_seg_id_++;
+  s.create_tick = tick_;
+  s.members.reserve(params_.segment_objects);
+  open_seg_ = s.seg_id;
+  seg_order_.push_back(s.seg_id);
+  return segments_.emplace(s.seg_id, std::move(s)).first->second;
+}
+
+void GlCache::fill_features(const Segment& s, float* out) const {
+  const double age = static_cast<double>(tick_ - s.create_tick);
+  const double live_b = static_cast<double>(s.live_bytes);
+  out[0] = static_cast<float>(std::log1p(age));
+  out[1] = static_cast<float>(std::log1p(live_b));
+  out[2] = static_cast<float>(s.live_objects);
+  out[3] = static_cast<float>(std::log1p(static_cast<double>(s.hits)));
+  out[4] = s.live_objects > 0
+               ? static_cast<float>(
+                     std::log1p(live_b / static_cast<double>(s.live_objects)))
+               : 0.0f;
+  out[5] = age > 0.0 ? static_cast<float>(static_cast<double>(s.hits) / age *
+                                          1e3)
+                     : 0.0f;
+}
+
+void GlCache::snapshot_segments() {
+  if (segments_.size() < 4) return;
+  // Sample one random live segment per call (amortized, cheap).
+  const std::size_t idx = rng_.below(seg_order_.size());
+  auto it = segments_.find(seg_order_[idx]);
+  if (it == segments_.end()) return;
+  Snapshot snap;
+  snap.seg_id = it->second.seg_id;
+  snap.taken_tick = tick_;
+  snap.hits_at = it->second.hits;
+  fill_features(it->second, snap.features.data());
+  pending_.push_back(snap);
+}
+
+void GlCache::resolve_snapshots() {
+  while (!pending_.empty() &&
+         tick_ - pending_.front().taken_tick >= params_.label_horizon) {
+    const Snapshot snap = pending_.front();
+    pending_.pop_front();
+    if (snap.seg_id < 0) continue;  // already resolved at eviction
+    auto it = segments_.find(snap.seg_id);
+    if (it == segments_.end()) continue;  // segment evicted before labeling
+    const Segment& s = it->second;
+    const double dh = static_cast<double>(s.hits - snap.hits_at);
+    const double live_b =
+        std::max<double>(1.0, static_cast<double>(s.live_bytes));
+    // Utility: hits per MiB over the horizon (log-compressed).
+    const double label = std::log1p(dh / live_b * 1048576.0);
+    train_buf_.add_row(
+        std::span<const float>(snap.features.data(), kFeatures),
+        static_cast<float>(label));
+  }
+}
+
+void GlCache::maybe_train() {
+  if (train_buf_.rows() < params_.train_batch) return;
+  gbm_.fit(train_buf_, rng_);
+  train_buf_ = ml::Dataset(kFeatures);
+}
+
+void GlCache::evict_segment() {
+  // Prune already-removed ids from the order queue front.
+  while (!seg_order_.empty() && !segments_.count(seg_order_.front())) {
+    seg_order_.pop_front();
+  }
+  if (seg_order_.empty()) return;
+
+  std::int64_t victim_seg = seg_order_.front();
+  if (gbm_.trained()) {
+    // Rank sampled candidates among the oldest half by predicted utility.
+    const std::size_t half = std::max<std::size_t>(1, seg_order_.size() / 2);
+    double best = std::numeric_limits<double>::infinity();
+    std::array<float, kFeatures> feats{};
+    int evaluated = 0;
+    for (std::size_t k = 0;
+         k < half && evaluated < params_.candidate_segments; ++k) {
+      const std::int64_t sid = seg_order_[k];
+      auto it = segments_.find(sid);
+      if (it == segments_.end()) continue;
+      if (sid == open_seg_) continue;  // never evict the open segment
+      ++evaluated;
+      fill_features(it->second, feats.data());
+      const double u = gbm_.predict_raw(feats.data());
+      if (u < best) {
+        best = u;
+        victim_seg = sid;
+      }
+    }
+  }
+  auto it = segments_.find(victim_seg);
+  if (it == segments_.end()) return;
+  // Resolve pending snapshots of the dying segment with the utility it
+  // accrued up to eviction — without this, workloads whose segment
+  // lifetime is shorter than the label horizon would never train.
+  for (auto& snap : pending_) {
+    if (snap.seg_id != victim_seg) continue;
+    const Segment& s = it->second;
+    const double dh = static_cast<double>(s.hits - snap.hits_at);
+    const double live_b =
+        std::max<double>(1.0, static_cast<double>(s.live_bytes));
+    train_buf_.add_row(
+        std::span<const float>(snap.features.data(), kFeatures),
+        static_cast<float>(std::log1p(dh / live_b * 1048576.0)));
+    snap.seg_id = -1;  // consumed
+  }
+  for (std::uint64_t oid : it->second.members) {
+    auto oit = objects_.find(oid);
+    if (oit != objects_.end() && oit->second.first == victim_seg) {
+      used_bytes_ -= oit->second.second;
+      objects_.erase(oit);
+    }
+  }
+  if (victim_seg == open_seg_) open_seg_ = -1;
+  segments_.erase(it);
+}
+
+bool GlCache::access(const Request& req) {
+  ++tick_;
+  resolve_snapshots();
+  if (params_.snapshot_every != 0 &&
+      tick_ % static_cast<std::int64_t>(params_.snapshot_every) == 0) {
+    snapshot_segments();
+  }
+  maybe_train();
+
+  auto it = objects_.find(req.id);
+  if (it != objects_.end()) {
+    auto sit = segments_.find(it->second.first);
+    if (sit != segments_.end()) ++sit->second.hits;
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  std::size_t guard = 0;
+  while (used_bytes_ + req.size > capacity_ && !objects_.empty()) {
+    evict_segment();
+    if (++guard > segments_.size() + seg_order_.size() + 8) break;
+  }
+  Segment& seg = open_segment();
+  seg.members.push_back(req.id);
+  seg.live_bytes += req.size;
+  seg.request_bytes += req.size;
+  ++seg.live_objects;
+  objects_[req.id] = {seg.seg_id, req.size};
+  used_bytes_ += req.size;
+  return false;
+}
+
+std::uint64_t GlCache::metadata_bytes() const {
+  std::uint64_t total = objects_.size() * (16 + 48);
+  for (const auto& [sid, s] : segments_) {
+    (void)sid;
+    total += sizeof(Segment) + s.members.size() * 8 + 48;
+  }
+  total += pending_.size() * sizeof(Snapshot) +
+           train_buf_.rows() * (kFeatures + 1) * sizeof(float) +
+           gbm_.model_bytes();
+  return total;
+}
+
+}  // namespace cdn

@@ -1,0 +1,108 @@
+// GL-Cache — Group-level Learning (Yang et al., FAST 2023), scaled down.
+//
+// Instead of learning per-object utility, objects are grouped into segments
+// by insertion order (a log-structured view); the model learns *segment*
+// utility and eviction removes the lowest-utility segment wholesale, which
+// amortizes both learning and eviction costs — the property that makes
+// GL-Cache fast in the original paper.
+//
+// Reconstruction details:
+//  * Segments hold a fixed number of objects. Live bytes, hit counts, ages
+//    and mean object size are tracked per segment.
+//  * Training: snapshots of randomly chosen segments are labeled with the
+//    utility actually observed over the following window
+//    (hits per live byte, the paper's size-aware utility), and a GBM
+//    regressor maps snapshot features -> utility.
+//  * Eviction: rank the oldest half of segments by predicted utility and
+//    evict all live objects of the worst segment (merge-free variant).
+//    Before the first model is trained, evict the oldest segment (FIFO).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/gbm.hpp"
+#include "sim/cache.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+
+struct GlCacheParams {
+  std::size_t segment_objects = 64;   ///< objects per segment
+  std::size_t train_batch = 2048;     ///< labeled segment snapshots
+  std::size_t snapshot_every = 256;   ///< requests between segment samples
+  std::int64_t label_horizon = 16384; ///< ticks between snapshot and label
+  int candidate_segments = 32;
+  ml::GbmParams gbm{.n_trees = 12,
+                    .max_depth = 3,
+                    .learning_rate = 0.2,
+                    .n_bins = 32,
+                    .min_samples_leaf = 16,
+                    .subsample = 1.0,
+                    .lambda = 1.0,
+                    .loss = ml::GbmParams::Loss::kSquared};
+  std::uint64_t seed = 23;
+};
+
+class GlCache final : public Cache {
+ public:
+  static constexpr int kFeatures = 6;
+
+  explicit GlCache(std::uint64_t capacity_bytes, GlCacheParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "GL-Cache"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] bool contains(std::uint64_t id) const override {
+    return objects_.count(id) != 0;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return used_bytes_;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  [[nodiscard]] bool model_trained() const noexcept {
+    return gbm_.trained();
+  }
+
+ private:
+  struct Segment {
+    std::int64_t seg_id = 0;
+    std::int64_t create_tick = 0;
+    std::vector<std::uint64_t> members;
+    std::uint64_t live_bytes = 0;
+    std::uint32_t live_objects = 0;
+    std::uint64_t hits = 0;          ///< lifetime hits into this segment
+    std::uint64_t request_bytes = 0; ///< bytes of member objects at insert
+  };
+  struct Snapshot {
+    std::int64_t seg_id;
+    std::int64_t taken_tick;
+    std::uint64_t hits_at;
+    std::array<float, kFeatures> features;
+  };
+
+  void fill_features(const Segment& s, float* out) const;
+  void snapshot_segments();
+  void resolve_snapshots();
+  void maybe_train();
+  void evict_segment();
+  Segment& open_segment();
+
+  GlCacheParams params_;
+  std::unordered_map<std::uint64_t, std::pair<std::int64_t, std::uint64_t>>
+      objects_;  ///< object id -> (segment id, size)
+  std::unordered_map<std::int64_t, Segment> segments_;
+  std::deque<std::int64_t> seg_order_;  ///< creation order (lazily pruned)
+  std::int64_t open_seg_ = -1;
+  std::deque<Snapshot> pending_;
+  ml::Dataset train_buf_{kFeatures};
+  ml::Gbm gbm_;
+  Rng rng_;
+  std::uint64_t used_bytes_ = 0;
+  std::int64_t tick_ = 0;
+  std::int64_t next_seg_id_ = 0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,55 @@
+// LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS 2002),
+// cited by the paper (§7) among the structure-adjusting victim policies.
+//
+// Byte-capacity adaptation: blocks with low inter-reference recency (LIR)
+// own ~99 % of the capacity; high-IRR (HIR) residents live in a small
+// queue Q and are evicted first. The LIRS stack S orders blocks by
+// recency; a hit on a HIR block that is still in S proves its IRR is lower
+// than the coldest LIR block's recency, so they swap roles. Stack pruning
+// keeps S's bottom LIR.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/cache.hpp"
+#include "sim/lru_queue.hpp"
+
+namespace cdn {
+
+class LirsCache final : public Cache {
+ public:
+  explicit LirsCache(std::uint64_t capacity_bytes, double hir_frac = 0.05);
+
+  [[nodiscard]] std::string name() const override { return "LIRS"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] bool contains(std::uint64_t id) const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return resident_bytes_;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  enum class State : std::uint8_t { kLir, kHirResident, kHirNonResident };
+  struct Meta {
+    State state;
+    std::uint64_t size;
+    bool in_stack;
+    bool in_queue;
+  };
+
+  void prune_stack();
+  void evict_from_queue();
+  void demote_coldest_lir();
+  void limit_nonresident();
+
+  double hir_frac_;
+  std::uint64_t lir_cap_;
+  LruQueue stack_;  ///< LIRS stack S (recency order; may hold non-residents)
+  LruQueue queue_;  ///< resident-HIR queue Q
+  std::unordered_map<std::uint64_t, Meta> meta_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t lir_bytes_ = 0;
+  std::int64_t tick_ = 0;
+};
+
+}  // namespace cdn

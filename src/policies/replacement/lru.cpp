@@ -1,0 +1,20 @@
+#include "policies/replacement/lru.hpp"
+
+namespace cdn {
+
+bool LruCache::access(const Request& req) {
+  ++tick_;
+  if (LruQueue::Node* node = q_.find(req.id)) {
+    ++node->hits;
+    node->last_tick = tick_;
+    q_.touch_mru(req.id);
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  make_room(req.size);
+  LruQueue::Node& node = q_.insert_mru(req.id, req.size);
+  node.insert_tick = node.last_tick = tick_;
+  return false;
+}
+
+}  // namespace cdn

@@ -1,0 +1,20 @@
+// Classic LRU: MRU insertion, MRU promotion, LRU-end eviction.
+// This is both a baseline in Figures 8/10 and the victim policy under every
+// insertion-policy variant.
+#pragma once
+
+#include "sim/queue_cache.hpp"
+
+namespace cdn {
+
+class LruCache final : public QueueCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes)
+      : QueueCache(capacity_bytes) {}
+
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+
+  bool access(const Request& req) override;
+};
+
+}  // namespace cdn

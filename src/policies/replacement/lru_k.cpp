@@ -1,0 +1,123 @@
+#include "policies/replacement/lru_k.hpp"
+
+#include <algorithm>
+
+namespace cdn {
+
+LruKCache::LruKCache(std::uint64_t capacity_bytes, int k,
+                     std::shared_ptr<InsertionAdvisor> advisor)
+    : Cache(capacity_bytes), k_(std::max(1, k)), advisor_(std::move(advisor)) {}
+
+std::string LruKCache::name() const {
+  std::string n = "LRU-" + std::to_string(k_);
+  if (advisor_) n += std::string("-") + advisor_->tag();
+  return n;
+}
+
+bool LruKCache::contains(std::uint64_t id) const {
+  auto it = objects_.find(id);
+  return it != objects_.end() && it->second.resident;
+}
+
+LruKCache::Key LruKCache::key_of(std::uint64_t id, const Obj& o) const {
+  if (o.history.size() < static_cast<std::size_t>(k_)) {
+    // Infinite backward K-distance band; order by most recent access
+    // (objects that never got credit sort with time 0, first to go).
+    const std::int64_t t = o.history.empty() ? 0 : o.history.front();
+    return {0, t, id};
+  }
+  return {1, o.history[static_cast<std::size_t>(k_ - 1)], id};
+}
+
+void LruKCache::index_erase(std::uint64_t id, const Obj& o) {
+  order_.erase(key_of(id, o));
+}
+
+void LruKCache::index_insert(std::uint64_t id, const Obj& o) {
+  order_.insert(key_of(id, o));
+}
+
+void LruKCache::evict_until_fits(std::uint64_t size) {
+  while (!order_.empty() && used_bytes_ + size > capacity_) {
+    const auto [band, t, id] = *order_.begin();
+    (void)band;
+    (void)t;
+    order_.erase(order_.begin());
+    Obj& o = objects_.at(id);
+    o.resident = false;
+    used_bytes_ -= o.size;
+    if (advisor_) advisor_->on_evict(id, o.size, o.mru_marked, o.hits > 0);
+    o.hits = 0;
+    retained_fifo_.push_back(id);
+  }
+}
+
+void LruKCache::trim_history() {
+  const std::size_t max_retained = 4 * order_.size() + 1024;
+  while (objects_.size() > max_retained && !retained_fifo_.empty()) {
+    const std::uint64_t id = retained_fifo_.front();
+    retained_fifo_.pop_front();
+    auto it = objects_.find(id);
+    if (it != objects_.end() && !it->second.resident) objects_.erase(it);
+  }
+}
+
+bool LruKCache::access(const Request& req) {
+  ++tick_;
+  auto it = objects_.find(req.id);
+  const bool hit = it != objects_.end() && it->second.resident;
+
+  if (hit) {
+    Obj& o = it->second;
+    ++o.hits;
+    const bool credit =
+        advisor_ ? advisor_->choose_mru_for_hit(req, o.hits) : true;
+    index_erase(req.id, o);
+    if (credit) {
+      o.history.push_front(tick_);
+      while (o.history.size() > static_cast<std::size_t>(k_)) {
+        o.history.pop_back();
+      }
+    }
+    o.mru_marked = credit;
+    index_insert(req.id, o);
+    if (advisor_) advisor_->on_request(req, true);
+    return true;
+  }
+
+  if (advisor_) advisor_->on_miss(req);
+  if (!fits(req.size)) {
+    if (advisor_) advisor_->on_request(req, false);
+    return false;
+  }
+  evict_until_fits(req.size);
+
+  Obj& o = objects_[req.id];  // may resume retained history
+  const bool credit = advisor_ ? advisor_->choose_mru_for_miss(req) : true;
+  if (credit) {
+    o.history.push_front(tick_);
+    while (o.history.size() > static_cast<std::size_t>(k_)) {
+      o.history.pop_back();
+    }
+  }
+  o.size = req.size;
+  o.hits = 0;
+  o.resident = true;
+  o.mru_marked = credit;
+  used_bytes_ += req.size;
+  index_insert(req.id, o);
+  trim_history();
+  if (advisor_) advisor_->on_request(req, false);
+  return false;
+}
+
+std::uint64_t LruKCache::metadata_bytes() const {
+  // Obj record + history timestamps + set node + hash overhead.
+  const std::uint64_t per_obj =
+      sizeof(Obj) + static_cast<std::uint64_t>(k_) * 8 + 64 + 48;
+  std::uint64_t total = objects_.size() * per_obj;
+  if (advisor_) total += advisor_->metadata_bytes();
+  return total;
+}
+
+}  // namespace cdn

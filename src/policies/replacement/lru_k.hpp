@@ -1,0 +1,64 @@
+// LRU-K (O'Neil et al., SIGMOD '93): evicts the object whose K-th most
+// recent reference is oldest. Objects with fewer than K references have an
+// infinite backward K-distance and are evicted first (among themselves, by
+// least-recent access). Reference history is retained for recently evicted
+// objects so a quick re-fetch resumes its history (the paper's Retained
+// Information Period), bounded to the cache's entry count.
+//
+// Optionally hosts an InsertionAdvisor (SCIP / ASC-IP integration, Fig. 12):
+// an "LRU-position" decision withholds the history credit for that access,
+// leaving the object in the infinite-distance band with a stale timestamp,
+// i.e. first in line for eviction — the LRU-K analogue of LRU-end insertion.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "sim/advisor.hpp"
+#include "sim/cache.hpp"
+
+namespace cdn {
+
+class LruKCache final : public Cache {
+ public:
+  LruKCache(std::uint64_t capacity_bytes, int k = 2,
+            std::shared_ptr<InsertionAdvisor> advisor = nullptr);
+
+  [[nodiscard]] std::string name() const override;
+  bool access(const Request& req) override;
+  [[nodiscard]] bool contains(std::uint64_t id) const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return used_bytes_;
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+ private:
+  struct Obj {
+    std::uint64_t size = 0;
+    std::deque<std::int64_t> history;  ///< most recent first, size <= k
+    std::uint32_t hits = 0;
+    bool resident = false;
+    bool mru_marked = true;  ///< advisor mark for history-list routing
+  };
+  // Eviction order key: (band, time, id); band 0 = fewer than K references
+  // (infinite K-distance, evicted first), band 1 = K-th reference time.
+  using Key = std::tuple<int, std::int64_t, std::uint64_t>;
+
+  [[nodiscard]] Key key_of(std::uint64_t id, const Obj& o) const;
+  void index_erase(std::uint64_t id, const Obj& o);
+  void index_insert(std::uint64_t id, const Obj& o);
+  void evict_until_fits(std::uint64_t size);
+  void trim_history();
+
+  int k_;
+  std::shared_ptr<InsertionAdvisor> advisor_;
+  std::unordered_map<std::uint64_t, Obj> objects_;
+  std::set<Key> order_;  ///< resident objects only
+  std::deque<std::uint64_t> retained_fifo_;  ///< non-resident history ids
+  std::uint64_t used_bytes_ = 0;
+  std::int64_t tick_ = 0;
+};
+
+}  // namespace cdn

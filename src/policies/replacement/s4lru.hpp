@@ -1,0 +1,42 @@
+// S4LRU (Facebook photo caching, Huang et al. / used as a CDN baseline in
+// the paper): four stacked LRU segments, each a quarter of the capacity.
+// Misses enter segment 0's MRU end; a hit in segment i promotes to the MRU
+// end of segment min(i+1, 3); overflow of segment i demotes its LRU object
+// to segment i-1; overflow of segment 0 evicts.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "sim/cache.hpp"
+#include "sim/lru_queue.hpp"
+
+namespace cdn {
+
+class S4LruCache final : public Cache {
+ public:
+  explicit S4LruCache(std::uint64_t capacity_bytes);
+
+  [[nodiscard]] std::string name() const override { return "S4LRU"; }
+  bool access(const Request& req) override;
+  [[nodiscard]] bool contains(std::uint64_t id) const override {
+    return level_.count(id) != 0;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override;
+  [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Invariant check used by tests: per-segment byte usage within bounds
+  /// and the level index consistent with segment membership.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  static constexpr int kLevels = 4;
+  void rebalance();  ///< cascades overflow demotions and final evictions
+
+  std::array<LruQueue, kLevels> seg_;
+  std::array<std::uint64_t, kLevels> seg_cap_{};
+  std::unordered_map<std::uint64_t, std::uint8_t> level_;
+  std::int64_t tick_ = 0;
+};
+
+}  // namespace cdn

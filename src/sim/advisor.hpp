@@ -1,0 +1,55 @@
+// InsertionAdvisor: the component boundary that lets SCIP (and ASC-IP)
+// plug into different replacement algorithms (§4 of the paper).
+//
+// An advisor answers one question — MRU or LRU position? — for both miss
+// insertions and hit promotions (the paper's key move is asking it for hits
+// too), and observes the event stream it needs to learn: misses, evictions
+// (with the victim's insertion mark and whether it was ever hit), and the
+// per-request hit/miss outcome for its learning-rate window.
+//
+// Host caches without a literal queue map the two answers onto their own
+// structure (e.g. LRU-K withholds history credit for "LRU" decisions; LRB
+// marks the object as an eviction-preferred candidate). Those mappings are
+// documented in DESIGN.md and implemented in src/core.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/request.hpp"
+
+namespace cdn {
+
+class InsertionAdvisor {
+ public:
+  virtual ~InsertionAdvisor() = default;
+
+  /// Called on every cache miss before insertion (Algorithm 1, lines 6-13).
+  virtual void on_miss(const Request& /*req*/) {}
+
+  /// Position decision for inserting a missing object. True = MRU.
+  virtual bool choose_mru_for_miss(const Request& req) = 0;
+
+  /// Position decision for re-inserting a hit object (promotion). True =
+  /// MRU. `residency_hits` counts this residency's hits including the
+  /// current one — the P-ZRO risk class is first-hit objects.
+  virtual bool choose_mru_for_hit(const Request& req,
+                                  std::uint32_t residency_hits) = 0;
+
+  /// Called when the host evicts an object. `was_mru_inserted` is the mark
+  /// set at the object's last (re-)insertion; `had_hits` is whether the
+  /// object was hit during its residency (ASC-IP's hit token).
+  virtual void on_evict(std::uint64_t /*id*/, std::uint64_t /*size*/,
+                        bool /*was_mru_inserted*/, bool /*had_hits*/) {}
+
+  /// Called once per request with the hit/miss outcome. Drives the hit-rate
+  /// window (Algorithm 2) and feeds SCIP's sampled shadow monitors.
+  virtual void on_request(const Request& /*req*/, bool /*hit*/) {}
+
+  /// Advisor state footprint (history lists, thresholds, model).
+  [[nodiscard]] virtual std::uint64_t metadata_bytes() const { return 0; }
+
+  /// Display-name suffix ("SCIP", "SCI", "ASC-IP").
+  [[nodiscard]] virtual const char* tag() const = 0;
+};
+
+}  // namespace cdn

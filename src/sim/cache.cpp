@@ -1,0 +1,5 @@
+#include "sim/cache.hpp"
+
+// Cache is an interface; its virtual destructor anchor lives here so the
+// vtable is emitted exactly once.
+namespace cdn {}  // namespace cdn

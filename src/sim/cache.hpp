@@ -1,0 +1,55 @@
+// Abstract cache interface every policy implements.
+//
+// The simulator drives a cache with one call per request; the policy decides
+// admission, placement and eviction internally. Objects larger than the
+// cache capacity are expected to bypass (counted as misses, never admitted)
+// — `Cache::fits` encapsulates that check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/request.hpp"
+
+namespace cdn {
+
+class Cache {
+ public:
+  explicit Cache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Policy name as reported in bench tables (e.g. "SCIP", "LRU", "ASC-IP").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Processes one request. Returns true on hit. On miss the policy decides
+  /// whether/where to admit the object and evicts as needed.
+  virtual bool access(const Request& req) = 0;
+
+  /// True if the object is currently resident.
+  [[nodiscard]] virtual bool contains(std::uint64_t id) const = 0;
+
+  /// Bytes currently occupied by resident objects.
+  [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
+
+  /// Estimated in-memory metadata footprint of the policy (index structures,
+  /// ghost lists, models). Drives the Fig. 9 / Fig. 11 memory comparison.
+  [[nodiscard]] virtual std::uint64_t metadata_bytes() const { return 0; }
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// True if an object of `size` bytes can ever fit in this cache.
+  [[nodiscard]] bool fits(std::uint64_t size) const noexcept {
+    return size <= capacity_;
+  }
+
+ protected:
+  std::uint64_t capacity_;
+};
+
+using CachePtr = std::unique_ptr<Cache>;
+
+}  // namespace cdn

@@ -1,0 +1,38 @@
+#include "sim/ghost_list.hpp"
+
+namespace cdn {
+
+GhostList::GhostList(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void GhostList::add(std::uint64_t id, std::uint64_t size, bool tag) {
+  erase(id);
+  if (size > capacity_) return;  // cannot ever fit; don't thrash the list
+  fifo_.push_front(Rec{id, size, tag});
+  index_[id] = fifo_.begin();
+  used_bytes_ += size;
+  evict_to_fit();
+}
+
+bool GhostList::erase(std::uint64_t id, std::uint64_t* size_out,
+                      bool* tag_out) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  if (size_out) *size_out = it->second->size;
+  if (tag_out) *tag_out = it->second->tag;
+  used_bytes_ -= it->second->size;
+  fifo_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void GhostList::evict_to_fit() {
+  while (used_bytes_ > capacity_ && !fifo_.empty()) {
+    const Rec& oldest = fifo_.back();
+    used_bytes_ -= oldest.size;
+    index_.erase(oldest.id);
+    fifo_.pop_back();
+  }
+}
+
+}  // namespace cdn

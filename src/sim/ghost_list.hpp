@@ -1,0 +1,69 @@
+// FIFO, byte-bounded metadata list ("shadow cache" / history list).
+//
+// SCIP keeps two of these (H_m and H_l, §3.2): each records the key and
+// size of objects evicted from the real cache after being inserted at the
+// MRU / LRU position respectively. Each is logically half the size of the
+// real cache. Other policies (DIP set-dueling monitors, LeCaR/CACHEUS ghost
+// lists, DTA's outcome ghost) reuse the same structure.
+//
+// Per the paper's ADD function: a new record enters at the MRU (front) end;
+// when the list is full the record at the LRU (back) end is dropped; a hit
+// DELETEs the record.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace cdn {
+
+class GhostList {
+ public:
+  /// `capacity_bytes` bounds the sum of recorded object sizes.
+  explicit GhostList(std::uint64_t capacity_bytes);
+
+  /// True if `id` is currently recorded.
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return index_.count(id) != 0;
+  }
+
+  /// Records an eviction; drops FIFO-oldest records to respect capacity.
+  /// Re-adding an existing id refreshes it to the front. `tag` is an
+  /// arbitrary caller-defined bit carried with the record (SCIP tags
+  /// whether the victim had been hit during its residency, which routes
+  /// the evidence to the miss- or promotion-side weights).
+  void add(std::uint64_t id, std::uint64_t size, bool tag = false);
+
+  /// Removes the record for `id` (the paper's DELETE). Returns true if it
+  /// was present; `size_out` / `tag_out` receive the recorded fields.
+  bool erase(std::uint64_t id, std::uint64_t* size_out = nullptr,
+             bool* tag_out = nullptr);
+
+  [[nodiscard]] std::size_t count() const noexcept { return index_.size(); }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return used_bytes_;
+  }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Metadata footprint estimate (key + size + list/hash overhead).
+  [[nodiscard]] std::uint64_t metadata_bytes() const noexcept {
+    return count() * kPerEntryBytes;
+  }
+
+  static constexpr std::uint64_t kPerEntryBytes = 48;
+
+ private:
+  struct Rec {
+    std::uint64_t id;
+    std::uint64_t size;
+    bool tag;
+  };
+  void evict_to_fit();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_bytes_ = 0;
+  std::list<Rec> fifo_;  ///< front = newest (MRU end), back = oldest
+  std::unordered_map<std::uint64_t, std::list<Rec>::iterator> index_;
+};
+
+}  // namespace cdn

@@ -1,0 +1,188 @@
+#include "sim/lru_queue.hpp"
+
+#include <cassert>
+
+namespace cdn {
+
+LruQueue::Node* LruQueue::find(std::uint64_t id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &slab_[it->second];
+}
+
+const LruQueue::Node* LruQueue::find(std::uint64_t id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &slab_[it->second];
+}
+
+std::uint32_t LruQueue::alloc_node() {
+  if (!free_list_.empty()) {
+    const std::uint32_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void LruQueue::free_node(std::uint32_t idx) {
+  // Swap-remove from the dense occupancy vector.
+  const std::uint32_t pos = slab_[idx].dense_pos_;
+  const std::uint32_t last = dense_.back();
+  dense_[pos] = last;
+  slab_[last].dense_pos_ = pos;
+  dense_.pop_back();
+  slab_[idx] = Node{};  // reset for reuse
+  free_list_.push_back(idx);
+}
+
+void LruQueue::link_mru(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  n.prev_ = kNull;
+  n.next_ = head_;
+  if (head_ != kNull) slab_[head_].prev_ = idx;
+  head_ = idx;
+  if (tail_ == kNull) tail_ = idx;
+}
+
+void LruQueue::link_lru(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  n.next_ = kNull;
+  n.prev_ = tail_;
+  if (tail_ != kNull) slab_[tail_].next_ = idx;
+  tail_ = idx;
+  if (head_ == kNull) head_ = idx;
+}
+
+void LruQueue::unlink(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  if (n.prev_ != kNull) {
+    slab_[n.prev_].next_ = n.next_;
+  } else {
+    head_ = n.next_;
+  }
+  if (n.next_ != kNull) {
+    slab_[n.next_].prev_ = n.prev_;
+  } else {
+    tail_ = n.prev_;
+  }
+  n.prev_ = n.next_ = kNull;
+}
+
+LruQueue::Node& LruQueue::insert_mru(std::uint64_t id, std::uint64_t size) {
+  assert(!contains(id));
+  const std::uint32_t idx = alloc_node();
+  Node& n = slab_[idx];
+  n.id = id;
+  n.size = size;
+  n.insert_pos = 1;
+  n.dense_pos_ = static_cast<std::uint32_t>(dense_.size());
+  dense_.push_back(idx);
+  index_.emplace(id, idx);
+  used_bytes_ += size;
+  link_mru(idx);
+  return n;
+}
+
+LruQueue::Node& LruQueue::insert_lru(std::uint64_t id, std::uint64_t size) {
+  assert(!contains(id));
+  const std::uint32_t idx = alloc_node();
+  Node& n = slab_[idx];
+  n.id = id;
+  n.size = size;
+  n.insert_pos = 0;
+  n.dense_pos_ = static_cast<std::uint32_t>(dense_.size());
+  dense_.push_back(idx);
+  index_.emplace(id, idx);
+  used_bytes_ += size;
+  link_lru(idx);
+  return n;
+}
+
+void LruQueue::touch_mru(std::uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  if (head_ == it->second) return;
+  unlink(it->second);
+  link_mru(it->second);
+}
+
+void LruQueue::move_up_one(std::uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::uint32_t idx = it->second;
+  const std::uint32_t prev = slab_[idx].prev_;
+  if (prev == kNull) return;  // already MRU
+  // Swap positions of idx and prev in the list by relinking idx before prev.
+  unlink(idx);
+  Node& n = slab_[idx];
+  Node& p = slab_[prev];
+  n.prev_ = p.prev_;
+  n.next_ = prev;
+  if (p.prev_ != kNull) {
+    slab_[p.prev_].next_ = idx;
+  } else {
+    head_ = idx;
+  }
+  p.prev_ = idx;
+}
+
+void LruQueue::demote_lru(std::uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  if (tail_ == it->second) return;
+  unlink(it->second);
+  link_lru(it->second);
+}
+
+LruQueue::Node LruQueue::pop_lru() {
+  assert(tail_ != kNull);
+  const std::uint32_t idx = tail_;
+  Node copy = slab_[idx];
+  unlink(idx);
+  index_.erase(copy.id);
+  used_bytes_ -= copy.size;
+  free_node(idx);
+  return copy;
+}
+
+bool LruQueue::erase(std::uint64_t id, Node* out) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const std::uint32_t idx = it->second;
+  if (out) *out = slab_[idx];
+  unlink(idx);
+  used_bytes_ -= slab_[idx].size;
+  index_.erase(it);
+  free_node(idx);
+  return true;
+}
+
+std::uint64_t LruQueue::lru_id() const {
+  assert(tail_ != kNull);
+  return slab_[tail_].id;
+}
+
+std::uint64_t LruQueue::mru_id() const {
+  assert(head_ != kNull);
+  return slab_[head_].id;
+}
+
+LruQueue::Node& LruQueue::sample(Rng& rng) {
+  assert(!dense_.empty());
+  return slab_[dense_[rng.below(dense_.size())]];
+}
+
+void LruQueue::for_each_from_lru(
+    const std::function<bool(const Node&)>& fn) const {
+  for (std::uint32_t idx = tail_; idx != kNull; idx = slab_[idx].prev_) {
+    if (!fn(slab_[idx])) return;
+  }
+}
+
+std::uint64_t LruQueue::metadata_bytes() const noexcept {
+  // Slab node + dense slot + hash bucket (node ptr + key/value) estimate.
+  constexpr std::uint64_t kPerEntry = sizeof(Node) + 4 + 48;
+  return static_cast<std::uint64_t>(slab_.size()) * kPerEntry;
+}
+
+}  // namespace cdn

@@ -1,0 +1,110 @@
+// Byte-capacity LRU queue: the shared substrate of every queue-based policy.
+//
+// Storage is a slab (stable u32 indices + free list) holding intrusive
+// doubly-linked-list nodes, plus an unordered_map from object id to slab
+// index. All queue operations used by the paper's policies are O(1):
+//   insert at MRU / insert at LRU          (bimodal insertion, LIP, BIP)
+//   move to MRU (touch)                    (classic LRU promotion)
+//   move one step toward MRU               (PIPP promotion)
+//   pop from the LRU end                   (LRU victim selection)
+//   erase by id                            (SCIP's REMOVE on promotion)
+// A dense occupancy vector additionally supports O(1) uniform random
+// sampling of resident objects (used by LHD's and LRB's sampled eviction).
+//
+// Nodes carry the per-object metadata the policies need (hit count,
+// insertion position mark, timestamps, one policy-defined scalar), mirroring
+// the ~110-byte inode metadata TDC keeps in memory (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdn {
+
+class LruQueue {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  struct Node {
+    std::uint64_t id = 0;
+    std::uint64_t size = 0;
+    std::int64_t insert_tick = 0;  ///< logical time of cache entry
+    std::int64_t last_tick = 0;    ///< logical time of last access
+    std::uint32_t hits = 0;        ///< hits during the current residency
+    std::uint8_t insert_pos = 1;   ///< 1 = inserted at MRU, 0 = at LRU
+    std::uint8_t flags = 0;        ///< policy-defined bits
+    std::uint64_t aux = 0;         ///< policy-defined scalar
+   private:
+    std::uint32_t prev_ = kNull;
+    std::uint32_t next_ = kNull;
+    std::uint32_t dense_pos_ = kNull;
+    friend class LruQueue;
+  };
+
+  LruQueue() = default;
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return index_.count(id) != 0;
+  }
+  /// Returns the node for `id` or nullptr. The pointer is invalidated by any
+  /// mutation of the queue.
+  [[nodiscard]] Node* find(std::uint64_t id);
+  [[nodiscard]] const Node* find(std::uint64_t id) const;
+
+  /// Inserts a new object (must not be present). Returns its node.
+  Node& insert_mru(std::uint64_t id, std::uint64_t size);
+  Node& insert_lru(std::uint64_t id, std::uint64_t size);
+
+  /// Moves an existing object to the MRU end. No-op if absent.
+  void touch_mru(std::uint64_t id);
+  /// Moves an existing object one step toward MRU (PIPP). No-op if absent
+  /// or already MRU.
+  void move_up_one(std::uint64_t id);
+  /// Moves an existing object to the LRU end (demotion). No-op if absent.
+  void demote_lru(std::uint64_t id);
+
+  /// Removes and returns the LRU-end node. Queue must be non-empty.
+  Node pop_lru();
+  /// Removes `id`; returns true and copies the node into `out` if present.
+  bool erase(std::uint64_t id, Node* out = nullptr);
+
+  [[nodiscard]] std::uint64_t lru_id() const;
+  [[nodiscard]] std::uint64_t mru_id() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return dense_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return dense_.empty(); }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return used_bytes_;
+  }
+
+  /// Uniformly random resident node. Queue must be non-empty.
+  [[nodiscard]] Node& sample(Rng& rng);
+
+  /// Visits nodes from the LRU end toward MRU until fn returns false.
+  void for_each_from_lru(const std::function<bool(const Node&)>& fn) const;
+
+  /// Approximate in-memory metadata footprint (bytes) for the resource
+  /// experiments: slab nodes + hash index overhead.
+  [[nodiscard]] std::uint64_t metadata_bytes() const noexcept;
+
+ private:
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t idx);
+  void link_mru(std::uint32_t idx);
+  void link_lru(std::uint32_t idx);
+  void unlink(std::uint32_t idx);
+
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> free_list_;
+  std::vector<std::uint32_t> dense_;  ///< occupied slab slots, for sampling
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  std::uint32_t head_ = kNull;  ///< MRU end
+  std::uint32_t tail_ = kNull;  ///< LRU end
+  std::uint64_t used_bytes_ = 0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,42 @@
+// Convenience base for policies whose resident set is a single LRU queue
+// with LRU-end victim selection (the paper evaluates all insertion policies
+// on exactly this victim policy). Derived classes implement access() and may
+// override on_evict() to observe victims (history lists, predictors, ...).
+#pragma once
+
+#include "sim/cache.hpp"
+#include "sim/lru_queue.hpp"
+
+namespace cdn {
+
+class QueueCache : public Cache {
+ public:
+  explicit QueueCache(std::uint64_t capacity_bytes)
+      : Cache(capacity_bytes) {}
+
+  [[nodiscard]] bool contains(std::uint64_t id) const override {
+    return q_.contains(id);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return q_.used_bytes();
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return q_.metadata_bytes();
+  }
+
+ protected:
+  /// Evicts from the LRU end until `size` more bytes fit.
+  void make_room(std::uint64_t size) {
+    while (!q_.empty() && q_.used_bytes() + size > capacity_) {
+      on_evict(q_.pop_lru());
+    }
+  }
+
+  /// Victim observation hook; the node is already removed from the queue.
+  virtual void on_evict(const LruQueue::Node& /*victim*/) {}
+
+  LruQueue q_;
+  std::int64_t tick_ = 0;  ///< logical time: one tick per access()
+};
+
+}  // namespace cdn

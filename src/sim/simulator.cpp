@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/stopwatch.hpp"
+
+namespace cdn {
+
+SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
+  SimResult res;
+  res.policy = cache.name();
+  res.trace = trace.name;
+
+  const std::size_t n = trace.requests.size();
+  const auto warm_start =
+      static_cast<std::size_t>(opts.warmup_frac * static_cast<double>(n));
+
+  std::uint64_t window_hits = 0;
+  std::size_t window_count = 0;
+
+  const double cpu0 = thread_cpu_seconds();
+  Stopwatch wall;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request& req = trace.requests[i];
+    const bool hit = cache.access(req);
+
+    ++res.requests;
+    res.bytes_total += req.size;
+    if (hit) {
+      ++res.hits;
+      res.bytes_hit += req.size;
+    }
+    if (i >= warm_start) {
+      ++res.warm_requests;
+      res.warm_bytes_total += req.size;
+      if (hit) {
+        ++res.warm_hits;
+        res.warm_bytes_hit += req.size;
+      }
+    }
+
+    if (hit) ++window_hits;
+    if (++window_count == opts.window) {
+      res.window_miss_ratios.push_back(
+          1.0 - static_cast<double>(window_hits) /
+                    static_cast<double>(window_count));
+      window_hits = 0;
+      window_count = 0;
+    }
+
+    if (opts.metadata_sample_every != 0 &&
+        i % opts.metadata_sample_every == 0) {
+      res.metadata_peak_bytes =
+          std::max(res.metadata_peak_bytes, cache.metadata_bytes());
+    }
+  }
+  if (window_count > 0) {
+    res.window_miss_ratios.push_back(
+        1.0 -
+        static_cast<double>(window_hits) / static_cast<double>(window_count));
+  }
+
+  res.wall_seconds = wall.seconds();
+  res.cpu_seconds = thread_cpu_seconds() - cpu0;
+  res.metadata_peak_bytes =
+      std::max(res.metadata_peak_bytes, cache.metadata_bytes());
+  return res;
+}
+
+}  // namespace cdn

@@ -1,0 +1,80 @@
+// Trace-driven simulation driver and its result record.
+//
+// Follows the measurement methodology of the LRB simulator the paper uses:
+// caches start empty, metrics are reported both for the full run and with a
+// warm-up prefix excluded, and byte- and object-granularity miss ratios are
+// tracked separately. Resource metrics (wall time -> TPS, thread CPU time,
+// peak policy metadata) feed the Fig. 9 / Fig. 11 reproductions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "trace/request.hpp"
+
+namespace cdn {
+
+struct SimOptions {
+  /// Windowed miss-ratio series granularity (requests per window).
+  std::size_t window = 100'000;
+  /// Fraction of the trace treated as warm-up (excluded from warm_* stats).
+  double warmup_frac = 0.2;
+  /// Sample metadata_bytes() every this many requests for the peak.
+  std::size_t metadata_sample_every = 10'000;
+};
+
+struct SimResult {
+  std::string policy;
+  std::string trace;
+
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_hit = 0;
+
+  std::uint64_t warm_requests = 0;  ///< after warm-up
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_bytes_total = 0;
+  std::uint64_t warm_bytes_hit = 0;
+
+  std::vector<double> window_miss_ratios;
+
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t metadata_peak_bytes = 0;
+
+  [[nodiscard]] double object_miss_ratio() const {
+    return requests ? 1.0 - static_cast<double>(hits) /
+                                static_cast<double>(requests)
+                    : 0.0;
+  }
+  [[nodiscard]] double byte_miss_ratio() const {
+    return bytes_total ? 1.0 - static_cast<double>(bytes_hit) /
+                                   static_cast<double>(bytes_total)
+                       : 0.0;
+  }
+  [[nodiscard]] double warm_object_miss_ratio() const {
+    return warm_requests ? 1.0 - static_cast<double>(warm_hits) /
+                                     static_cast<double>(warm_requests)
+                         : 0.0;
+  }
+  [[nodiscard]] double warm_byte_miss_ratio() const {
+    return warm_bytes_total ? 1.0 - static_cast<double>(warm_bytes_hit) /
+                                        static_cast<double>(warm_bytes_total)
+                            : 0.0;
+  }
+  /// Requests processed per wall-clock second (Fig. 9/11 "TPS").
+  [[nodiscard]] double tps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(requests) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Runs `trace` through `cache` and collects metrics.
+[[nodiscard]] SimResult simulate(Cache& cache, const Trace& trace,
+                                 const SimOptions& opts = {});
+
+}  // namespace cdn

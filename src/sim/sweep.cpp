@@ -1,0 +1,25 @@
+#include "sim/sweep.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace cdn {
+
+std::vector<SimResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                 std::size_t threads) {
+  for (const auto& j : jobs) {
+    if (!j.make_cache || j.trace == nullptr) {
+      throw std::invalid_argument("run_sweep: incomplete job");
+    }
+  }
+  std::vector<SimResult> results(jobs.size());
+  ThreadPool pool(threads);
+  pool.parallel_for(0, jobs.size(), [&](std::size_t i) {
+    CachePtr cache = jobs[i].make_cache();
+    results[i] = simulate(*cache, *jobs[i].trace, jobs[i].options);
+  });
+  return results;
+}
+
+}  // namespace cdn

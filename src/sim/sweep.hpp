@@ -1,0 +1,27 @@
+// Parallel experiment fan-out: runs a grid of independent simulations
+// (policy x cache size x trace) across a thread pool. Each job builds its
+// own cache instance inside the worker, so there is no shared mutable state
+// between simulations; results land in pre-sized slots of the output vector.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cdn {
+
+struct SweepJob {
+  /// Builds the cache for this job (called on the worker thread).
+  std::function<CachePtr()> make_cache;
+  /// Trace to drive; must outlive run_sweep.
+  const Trace* trace = nullptr;
+  SimOptions options{};
+};
+
+/// Runs all jobs, using `threads` workers (0 = hardware concurrency).
+/// Results are returned in job order.
+[[nodiscard]] std::vector<SimResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                               std::size_t threads = 0);
+
+}  // namespace cdn

@@ -1,0 +1,42 @@
+#include "tdc/cluster.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdn::tdc {
+
+Cluster::Cluster(const ClusterConfig& config) : latency_(config.latency) {
+  if (!config.make_oc_cache || !config.make_dc_cache) {
+    throw std::invalid_argument("Cluster: cache factories are required");
+  }
+  if (config.oc_nodes == 0 || config.dc_nodes == 0) {
+    throw std::invalid_argument("Cluster: need at least one node per layer");
+  }
+  oc_.reserve(config.oc_nodes);
+  for (std::size_t i = 0; i < config.oc_nodes; ++i) {
+    oc_.push_back(std::make_unique<Node>(
+        "oc" + std::to_string(i),
+        config.make_oc_cache(config.oc_capacity_bytes, i)));
+  }
+  dc_.reserve(config.dc_nodes);
+  for (std::size_t i = 0; i < config.dc_nodes; ++i) {
+    dc_.push_back(std::make_unique<Node>(
+        "dc" + std::to_string(i),
+        config.make_dc_cache(config.dc_capacity_bytes, i)));
+  }
+}
+
+std::size_t Cluster::route_oc(const Request& req) const {
+  // Consistent-hash object affinity: TDC-style CDNs pin a URL to one OC
+  // node of the serving PoP so its cache footprint is not duplicated.
+  // Object-sharded routing also preserves each node's view of the
+  // workload's temporal structure (scan phases, pair-burst waves).
+  return static_cast<std::size_t>(hash64(req.id ^ 0x0c) % oc_.size());
+}
+
+std::size_t Cluster::route_dc(std::uint64_t id) const {
+  return static_cast<std::size_t>(hash64(id ^ 0xdc) % dc_.size());
+}
+
+}  // namespace cdn::tdc

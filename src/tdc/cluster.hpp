@@ -1,0 +1,53 @@
+// TDC cluster topology: an OC (outside cache) layer close to users and a
+// DC (data-center cache) layer in front of the origin (COS), per Figure 2.
+//
+// Requests are routed to an OC node by user locality (here: a hash of the
+// object id mixed with a per-request salt standing in for the user region)
+// and, on an OC miss, to the DC node owning the object shard.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tdc/latency_model.hpp"
+#include "tdc/node.hpp"
+
+namespace cdn::tdc {
+
+struct ClusterConfig {
+  std::size_t oc_nodes = 4;
+  std::size_t dc_nodes = 2;
+  std::uint64_t oc_capacity_bytes = 256ULL << 20;  ///< per OC node
+  std::uint64_t dc_capacity_bytes = 1ULL << 30;    ///< per DC node
+  /// Policy factories; called once per node with (capacity, node index).
+  std::function<CachePtr(std::uint64_t, std::size_t)> make_oc_cache;
+  std::function<CachePtr(std::uint64_t, std::size_t)> make_dc_cache;
+  LatencyModel latency{};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  [[nodiscard]] std::size_t oc_count() const noexcept { return oc_.size(); }
+  [[nodiscard]] std::size_t dc_count() const noexcept { return dc_.size(); }
+  [[nodiscard]] Node& oc(std::size_t i) { return *oc_[i]; }
+  [[nodiscard]] Node& dc(std::size_t i) { return *dc_[i]; }
+  [[nodiscard]] const LatencyModel& latency() const noexcept {
+    return latency_;
+  }
+
+  /// OC node index for a request (user-locality routing).
+  [[nodiscard]] std::size_t route_oc(const Request& req) const;
+  /// DC node index owning the object shard.
+  [[nodiscard]] std::size_t route_dc(std::uint64_t id) const;
+
+ private:
+  std::vector<std::unique_ptr<Node>> oc_;
+  std::vector<std::unique_ptr<Node>> dc_;
+  LatencyModel latency_;
+};
+
+}  // namespace cdn::tdc

@@ -1,0 +1,96 @@
+#include "tdc/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace cdn::tdc {
+
+double TdcResult::mean_bto_gbps() const {
+  if (windows.empty() || window_ms <= 0.0) return 0.0;
+  return static_cast<double>(bto_bytes) * 8.0 /
+         (window_ms * static_cast<double>(windows.size()) * 1e6);
+}
+
+TdcResult run_cluster(Cluster& cluster, const Trace& trace,
+                      const TdcOptions& opts) {
+  TdcResult res;
+  res.window_ms = opts.window_ms;
+  if (trace.empty()) return res;
+
+  const double max_ms =
+      static_cast<double>(trace.requests.back().time) + 1.0;
+  const auto n_windows =
+      static_cast<std::size_t>(max_ms / opts.window_ms) + 1;
+
+  // Partition the trace per OC node (user-locality sharding). Each worker
+  // replays its shard in trace order.
+  std::vector<std::vector<std::uint32_t>> shards(cluster.oc_count());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    shards[cluster.route_oc(trace.requests[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  // Per-worker window accumulators, merged after the join — no atomics on
+  // the hot path and no false sharing.
+  std::vector<std::vector<TdcWindow>> partials(
+      cluster.oc_count(), std::vector<TdcWindow>(n_windows));
+
+  auto worker = [&](std::size_t oc_idx) {
+    Node& oc_node = cluster.oc(oc_idx);
+    auto& windows = partials[oc_idx];
+    const LatencyModel& lat = cluster.latency();
+    for (const std::uint32_t idx : shards[oc_idx]) {
+      const Request& req = trace.requests[idx];
+      const auto w = static_cast<std::size_t>(
+          static_cast<double>(req.time) / opts.window_ms);
+      TdcWindow& win = windows[std::min(w, n_windows - 1)];
+      ++win.requests;
+      win.bytes_requested += req.size;
+
+      if (oc_node.access(req)) {
+        ++win.oc_hits;
+        win.latency_ms_sum += lat.oc_hit_ms(req.size);
+        continue;
+      }
+      Node& dc_node = cluster.dc(cluster.route_dc(req.id));
+      if (dc_node.access(req)) {
+        ++win.dc_hits;
+        win.latency_ms_sum += lat.dc_hit_ms(req.size);
+        continue;
+      }
+      win.bto_bytes += req.size;  // fetched from the origin (COS)
+      win.latency_ms_sum += lat.origin_ms(req.size);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cluster.oc_count());
+  for (std::size_t i = 0; i < cluster.oc_count(); ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (auto& t : threads) t.join();
+
+  res.windows.assign(n_windows, TdcWindow{});
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    TdcWindow& out = res.windows[w];
+    out.start_ms = static_cast<double>(w) * opts.window_ms;
+    for (const auto& part : partials) {
+      const TdcWindow& in = part[w];
+      out.requests += in.requests;
+      out.bytes_requested += in.bytes_requested;
+      out.bto_bytes += in.bto_bytes;
+      out.oc_hits += in.oc_hits;
+      out.dc_hits += in.dc_hits;
+      out.latency_ms_sum += in.latency_ms_sum;
+    }
+    res.requests += out.requests;
+    res.bytes_requested += out.bytes_requested;
+    res.bto_bytes += out.bto_bytes;
+    res.oc_hits += out.oc_hits;
+    res.dc_hits += out.dc_hits;
+    res.latency_ms_sum += out.latency_ms_sum;
+  }
+  return res;
+}
+
+}  // namespace cdn::tdc

@@ -1,0 +1,78 @@
+// Multithreaded TDC request engine and its Figure-6 metrics.
+//
+// The trace is partitioned by OC node (user locality); one worker thread
+// drives each OC node's request stream. DC nodes are shared and locked.
+// Metrics are accumulated into fixed time windows with atomics:
+//  * BTO traffic — bytes fetched from the origin (DC-layer misses),
+//    reported as bandwidth (Gbps) per window;
+//  * BTO ratio — origin bytes / requested bytes (the paper's miss ratio
+//    in §5.2 is byte-granularity, since it maps 1:1 to bandwidth cost);
+//  * mean user access latency per window from the latency model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "tdc/cluster.hpp"
+#include "trace/request.hpp"
+
+namespace cdn::tdc {
+
+struct TdcWindow {
+  double start_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bto_bytes = 0;
+  std::uint64_t oc_hits = 0;
+  std::uint64_t dc_hits = 0;
+  double latency_ms_sum = 0.0;
+
+  [[nodiscard]] double bto_ratio() const {
+    return bytes_requested ? static_cast<double>(bto_bytes) /
+                                 static_cast<double>(bytes_requested)
+                           : 0.0;
+  }
+  [[nodiscard]] double bto_gbps(double window_ms) const {
+    return window_ms > 0.0
+               ? static_cast<double>(bto_bytes) * 8.0 / (window_ms * 1e6)
+               : 0.0;
+  }
+  [[nodiscard]] double mean_latency_ms() const {
+    return requests ? latency_ms_sum / static_cast<double>(requests) : 0.0;
+  }
+};
+
+struct TdcResult {
+  std::vector<TdcWindow> windows;
+  double window_ms = 0.0;
+
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bto_bytes = 0;
+  std::uint64_t oc_hits = 0;
+  std::uint64_t dc_hits = 0;
+  double latency_ms_sum = 0.0;
+
+  [[nodiscard]] double bto_ratio() const {
+    return bytes_requested ? static_cast<double>(bto_bytes) /
+                                 static_cast<double>(bytes_requested)
+                           : 0.0;
+  }
+  [[nodiscard]] double mean_latency_ms() const {
+    return requests ? latency_ms_sum / static_cast<double>(requests) : 0.0;
+  }
+  [[nodiscard]] double mean_bto_gbps() const;
+};
+
+struct TdcOptions {
+  double window_ms = 60'000.0;  ///< one-minute monitoring windows
+  std::size_t threads = 0;      ///< 0 = one per OC node
+};
+
+/// Drives `trace` through the cluster. Thread-safe, deterministic in the
+/// aggregate (per-window sums are order-independent).
+[[nodiscard]] TdcResult run_cluster(Cluster& cluster, const Trace& trace,
+                                    const TdcOptions& opts = {});
+
+}  // namespace cdn::tdc

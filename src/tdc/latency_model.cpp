@@ -1,0 +1,4 @@
+// LatencyModel is header-only; this TU anchors the target.
+#include "tdc/latency_model.hpp"
+
+namespace cdn::tdc {}  // namespace cdn::tdc

@@ -1,0 +1,4 @@
+// Node is header-only; this TU exists to give the target a stable anchor.
+#include "tdc/node.hpp"
+
+namespace cdn::tdc {}  // namespace cdn::tdc

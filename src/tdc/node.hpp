@@ -1,0 +1,40 @@
+// A cache node in the TDC cluster: a policy instance plus a mutex.
+//
+// OC nodes are driven by exactly one worker thread each (requests are
+// sharded by user locality), so their locks are uncontended; DC nodes are
+// shared by all workers (objects are sharded across the DC layer by id),
+// so their locks serialize concurrent access to the same shard.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "sim/cache.hpp"
+
+namespace cdn::tdc {
+
+class Node {
+ public:
+  Node(std::string name, CachePtr cache)
+      : name_(std::move(name)), cache_(std::move(cache)) {}
+
+  /// Thread-safe access. Returns true on hit.
+  bool access(const Request& req) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cache_->access(req);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cache_->used_bytes();
+  }
+  [[nodiscard]] std::uint64_t capacity() const { return cache_->capacity(); }
+
+ private:
+  std::string name_;
+  CachePtr cache_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace cdn::tdc

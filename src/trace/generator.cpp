@@ -1,0 +1,205 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cdn {
+
+namespace {
+
+// Deterministic per-object size: the object id seeds a throwaway RNG so the
+// same id always gets the same size regardless of when it is requested.
+std::uint64_t size_of(std::uint64_t id, const WorkloadSpec& spec) {
+  Rng rng(hash64(id ^ 0x5ca1ab1edeadbeefULL) ^ spec.seed);
+  // Log-normal with mean = mean_size: mean = exp(mu + sigma^2/2).
+  const double sigma = spec.size_sigma;
+  const double mu = std::log(spec.mean_size) - 0.5 * sigma * sigma;
+  double s;
+  if (rng.chance(spec.pareto_tail_p)) {
+    s = rng.pareto(spec.mean_size * 4.0, spec.pareto_alpha);
+  } else {
+    s = rng.lognormal(mu, sigma);
+  }
+  const double lo = static_cast<double>(spec.min_size);
+  const double hi = static_cast<double>(spec.max_size);
+  s = std::clamp(s, lo, hi);
+  return static_cast<std::uint64_t>(s);
+}
+
+}  // namespace
+
+Trace generate_trace(const WorkloadSpec& spec) {
+  if (spec.n_requests == 0) throw std::invalid_argument("empty trace");
+  if (spec.catalog_size == 0) throw std::invalid_argument("empty catalog");
+
+  Rng rng(spec.seed);
+  ZipfSampler zipf(spec.catalog_size, spec.zipf_alpha);
+
+  // Catalog ranks map to object ids; churn remaps ranks to fresh ids.
+  std::vector<std::uint64_t> rank_to_id(spec.catalog_size);
+  std::uint64_t next_id = 1;
+  for (auto& id : rank_to_id) id = next_id++;
+  // One-hit-wonder and burst ids come from a disjoint id space.
+  std::uint64_t next_fresh_id = 1ULL << 40;
+  // Loop ids likewise; the loop cursor advances one object per loop request.
+  const std::uint64_t loop_base = 1ULL << 42;
+  std::size_t loop_cursor = 0;
+
+  // Pending second halves of pair bursts, ordered by due request index.
+  using Due = std::pair<std::uint64_t, std::uint64_t>;  // (due_index, id)
+  std::priority_queue<Due, std::vector<Due>, std::greater<>> pending;
+
+  Trace trace;
+  trace.name = spec.name;
+  trace.requests.reserve(spec.n_requests);
+
+  double now_ms = 0.0;
+  const double mean_gap_ms = 1000.0 / spec.requests_per_second;
+
+  for (std::size_t i = 0; i < spec.n_requests; ++i) {
+    now_ms += rng.exponential(1.0 / mean_gap_ms);
+
+    if (spec.churn_interval != 0 && i != 0 && i % spec.churn_interval == 0 &&
+        spec.churn_fraction > 0.0) {
+      const auto n_remap = static_cast<std::size_t>(
+          spec.churn_fraction * static_cast<double>(spec.catalog_size));
+      for (std::size_t k = 0; k < n_remap; ++k) {
+        rank_to_id[rng.below(spec.catalog_size)] = next_fresh_id++;
+      }
+    }
+
+    const bool in_scan =
+        spec.scan_interval != 0 && spec.scan_length != 0 &&
+        (i % spec.scan_interval) < spec.scan_length;
+    const double p_onehit = in_scan ? spec.scan_onehit : spec.p_onehit;
+    const bool in_wave =
+        spec.burst_wave_interval != 0 && spec.burst_wave_length != 0 &&
+        (i % spec.burst_wave_interval) < spec.burst_wave_length;
+    const double p_burst = in_wave ? spec.burst_wave_p : spec.p_burst;
+
+    std::uint64_t id;
+    if (!pending.empty() && pending.top().first <= i) {
+      id = pending.top().second;
+      pending.pop();
+    } else if (rng.chance(p_onehit)) {
+      id = next_fresh_id++;
+    } else if (spec.loop_objects != 0 && rng.chance(spec.p_loop)) {
+      id = loop_base + loop_cursor;
+      loop_cursor = (loop_cursor + 1) % spec.loop_objects;
+    } else if (rng.chance(p_burst)) {
+      if (spec.burst_from_catalog) {
+        // Cold tail of the catalog: ranks in the bottom half.
+        const std::size_t half = spec.catalog_size / 2;
+        id = rank_to_id[half + rng.below(spec.catalog_size - half)];
+      } else {
+        id = next_fresh_id++;
+      }
+      const auto gap = static_cast<std::uint64_t>(
+          1.0 + rng.exponential(1.0 / spec.burst_gap_mean));
+      pending.emplace(i + gap, id);
+    } else {
+      id = rank_to_id[zipf.sample(rng)];
+    }
+
+    Request req;
+    req.time = static_cast<std::int64_t>(now_ms);
+    req.id = id;
+    req.size = std::max<std::uint64_t>(1, size_of(id, spec));
+    trace.requests.push_back(req);
+  }
+  return trace;
+}
+
+WorkloadSpec cdn_t_like(double scale) {
+  WorkloadSpec s;
+  s.name = "CDN-T";
+  s.seed = 1001;
+  s.n_requests = static_cast<std::size_t>(1'000'000 * scale);
+  s.catalog_size = static_cast<std::size_t>(130'000 * scale);
+  s.zipf_alpha = 0.85;
+  s.p_onehit = 0.20;
+  s.p_burst = 0.04;
+  s.burst_gap_mean = 400;
+  s.burst_wave_interval = static_cast<std::size_t>(180'000 * scale);
+  s.burst_wave_length = static_cast<std::size_t>(35'000 * scale);
+  s.burst_wave_p = 0.30;
+  s.burst_from_catalog = false;
+  s.churn_interval = static_cast<std::size_t>(50'000 * scale);
+  s.churn_fraction = 0.02;
+  s.mean_size = 44'560;
+  s.size_sigma = 1.3;
+  s.min_size = 2;
+  s.max_size = 20ULL << 20;  // 20 MB
+  s.scan_interval = static_cast<std::size_t>(150'000 * scale);
+  s.scan_length = static_cast<std::size_t>(55'000 * scale);
+  s.scan_onehit = 0.95;
+  s.p_loop = 0.30;
+  s.loop_objects = static_cast<std::size_t>(55'000 * scale);
+  s.requests_per_second = 2'000;
+  return s;
+}
+
+WorkloadSpec cdn_w_like(double scale) {
+  WorkloadSpec s;
+  s.name = "CDN-W";
+  s.seed = 2002;
+  s.n_requests = static_cast<std::size_t>(1'250'000 * scale);
+  s.catalog_size = static_cast<std::size_t>(29'000 * scale);
+  s.zipf_alpha = 0.95;
+  s.p_onehit = 0.002;
+  s.p_burst = 0.05;
+  s.burst_gap_mean = 120;
+  // Pair campaigns: every 200k requests a 60k window where nearly half the
+  // traffic is upload-then-view-once pairs -> P-ZRO-rich hits (paper: 21.7%)
+  s.burst_wave_interval = static_cast<std::size_t>(250'000 * scale);
+  s.burst_wave_length = static_cast<std::size_t>(90'000 * scale);
+  s.burst_wave_p = 0.45;
+  s.burst_from_catalog = true;  // keep unique-object count small
+  s.churn_interval = 0;
+  s.churn_fraction = 0.0;
+  s.mean_size = 35'070;
+  s.size_sigma = 1.4;
+  s.min_size = 10;
+  s.max_size = 64ULL << 20;  // scaled stand-in for the 674 MB max
+  s.scan_interval = static_cast<std::size_t>(250'000 * scale);
+  s.scan_length = static_cast<std::size_t>(25'000 * scale);
+  s.scan_onehit = 0.85;
+  s.p_loop = 0.35;
+  s.loop_objects = static_cast<std::size_t>(16'000 * scale);
+  s.requests_per_second = 2'500;
+  return s;
+}
+
+WorkloadSpec cdn_a_like(double scale) {
+  WorkloadSpec s;
+  s.name = "CDN-A";
+  s.seed = 3003;
+  s.n_requests = static_cast<std::size_t>(1'250'000 * scale);
+  s.catalog_size = static_cast<std::size_t>(150'000 * scale);
+  s.zipf_alpha = 0.70;
+  s.p_onehit = 0.45;  // photo store: huge one-hit-wonder share -> ZRO-rich
+  s.p_burst = 0.05;
+  s.burst_gap_mean = 1'000;
+  s.burst_from_catalog = false;
+  s.churn_interval = static_cast<std::size_t>(100'000 * scale);
+  s.churn_fraction = 0.03;
+  s.mean_size = 31'210;
+  s.size_sigma = 1.2;
+  s.min_size = 2;
+  s.max_size = 8ULL << 20;  // 8 MB
+  s.scan_interval = static_cast<std::size_t>(120'000 * scale);
+  s.scan_length = static_cast<std::size_t>(40'000 * scale);
+  s.scan_onehit = 0.95;
+  s.p_loop = 0.22;
+  s.loop_objects = static_cast<std::size_t>(70'000 * scale);
+  s.requests_per_second = 2'500;
+  return s;
+}
+
+}  // namespace cdn

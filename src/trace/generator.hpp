@@ -1,0 +1,103 @@
+// Synthetic CDN workload generators.
+//
+// The paper evaluates on three traces we cannot redistribute: CDN-T
+// (Tencent TDC), CDN-W (the Wikipedia trace used by LRB) and CDN-A (Tencent
+// Album / photo store). We substitute generators that match each trace's
+// published Table-1 statistics (scaled ~1:80 in request count) and — more
+// importantly — the structural properties the paper's argument rests on:
+//
+//  * CDN-A-like: dominated by one-hit wonders and long-cycle re-accesses,
+//    producing the largest zero-reuse-object (ZRO) share among misses.
+//  * CDN-W-like: a small, heavily reused catalog plus short "pair bursts"
+//    (an object is re-requested once shortly after a miss and then goes
+//    cold), producing the largest P-ZRO share among hits (~20 %).
+//  * CDN-T-like: in between; Zipf popularity with churn (the hot set
+//    drifts over time), a moderate one-hit-wonder share.
+//
+// All randomness is owned by the spec's seed; generation is deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/request.hpp"
+
+namespace cdn {
+
+/// Knobs of the synthetic workload model. See generator.cpp for semantics.
+struct WorkloadSpec {
+  std::string name = "synthetic";
+  std::uint64_t seed = 1;
+
+  std::size_t n_requests = 1'000'000;
+  std::size_t catalog_size = 100'000;  ///< popular-object catalog
+  double zipf_alpha = 0.9;             ///< popularity skew over the catalog
+
+  /// Probability that a request targets a brand-new object that is never
+  /// requested again (a guaranteed ZRO).
+  double p_onehit = 0.2;
+
+  /// Probability that a request starts a "pair burst": the object is
+  /// re-requested once after a short gap and then never again. The second
+  /// access, if it hits, is promoted and becomes a P-ZRO.
+  double p_burst = 0.05;
+  /// Mean gap (in requests) between the two accesses of a burst.
+  double burst_gap_mean = 2'000;
+  /// If true the burst re-uses a cold-tail catalog object (keeps the number
+  /// of unique objects low, as in CDN-W); otherwise it mints a fresh id.
+  bool burst_from_catalog = false;
+
+  /// Popularity churn: every `churn_interval` requests, `churn_fraction` of
+  /// catalog ranks are remapped to fresh object ids.
+  std::size_t churn_interval = 0;  ///< 0 disables churn
+  double churn_fraction = 0.0;
+
+  /// Object sizes: log-normal body with an optional Pareto tail, clamped to
+  /// [min_size, max_size]. `mean_size` targets the log-normal mean.
+  double mean_size = 44'000;
+  double size_sigma = 1.3;
+  double pareto_tail_p = 0.01;  ///< probability an object is tail-sized
+  double pareto_alpha = 1.2;
+  std::uint64_t min_size = 2;
+  std::uint64_t max_size = 20ULL << 20;
+
+  /// Scan phases: real CDN traffic has bursty one-shot phases (crawler
+  /// sweeps, photo-upload backfills) during which almost every request is a
+  /// never-again object. Every `scan_interval` requests a window of
+  /// `scan_length` requests uses `scan_onehit` as the one-hit probability.
+  /// These phases are what make insertion policies matter: MRU-inserting a
+  /// scan flushes the resident hot set.
+  std::size_t scan_interval = 0;  ///< 0 disables scans
+  std::size_t scan_length = 0;
+  double scan_onehit = 0.9;
+
+  /// Burst waves: windows in which the pair-burst probability spikes
+  /// (upload-then-view-once traffic arrives in campaigns, not uniformly).
+  /// During a wave most cache hits are the second halves of pairs — i.e.
+  /// P-ZROs — which is the temporal clustering SCIP's promotion side
+  /// exploits. 0 disables.
+  std::size_t burst_wave_interval = 0;
+  std::size_t burst_wave_length = 0;
+  double burst_wave_p = 0.5;
+
+  /// Cycling-loop component: a fixed set of `loop_objects` re-visited in
+  /// round-robin order (crawler/bot sweeps, feed regeneration). Its reuse
+  /// distance is the loop's byte footprint, which for the experiment cache
+  /// sizes sits just beyond the cache: the classic thrashing band where
+  /// insertion policy decides whether the loop ever hits.
+  double p_loop = 0.0;
+  std::size_t loop_objects = 0;
+
+  /// Request arrival rate (requests/second) for timestamp synthesis.
+  double requests_per_second = 2'000;
+};
+
+/// Generates a trace according to `spec`. Deterministic in spec.seed.
+[[nodiscard]] Trace generate_trace(const WorkloadSpec& spec);
+
+/// Scaled stand-ins for the paper's three workloads (Table 1).
+/// `scale` multiplies the request count (1.0 = the default ~1-1.25 M).
+[[nodiscard]] WorkloadSpec cdn_t_like(double scale = 1.0);
+[[nodiscard]] WorkloadSpec cdn_w_like(double scale = 1.0);
+[[nodiscard]] WorkloadSpec cdn_a_like(double scale = 1.0);
+
+}  // namespace cdn

@@ -1,0 +1,30 @@
+#include "trace/oracle.hpp"
+
+#include <unordered_map>
+
+namespace cdn {
+
+void annotate_next_access(Trace& trace) {
+  std::unordered_map<std::uint64_t, std::int64_t> next_seen;
+  next_seen.reserve(trace.requests.size());
+  for (std::size_t i = trace.requests.size(); i-- > 0;) {
+    auto& r = trace.requests[i];
+    auto it = next_seen.find(r.id);
+    r.next = it == next_seen.end() ? Request::kNoNext : it->second;
+    next_seen[r.id] = static_cast<std::int64_t>(i);
+  }
+}
+
+bool is_annotated(const Trace& trace) {
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const auto& r = trace.requests[i];
+    if (r.next == -1) return false;
+    if (r.next != Request::kNoNext &&
+        r.next <= static_cast<std::int64_t>(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cdn

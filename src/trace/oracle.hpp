@@ -1,0 +1,20 @@
+// Offline next-access annotation (the "oracle" pass).
+//
+// A single backward sweep fills Request::next with the index of the next
+// request to the same object (Request::kNoNext if there is none). This is
+// the substrate for Belady's optimal replacement, the relaxed-Belady
+// boundary used by LRB, and the ZRO / P-ZRO labelers in src/analysis.
+#pragma once
+
+#include "trace/request.hpp"
+
+namespace cdn {
+
+/// Fills `next` for every request. O(n) time, O(unique) space.
+void annotate_next_access(Trace& trace);
+
+/// True if annotate_next_access has plausibly been run (all `next` fields
+/// are either kNoNext or a strictly larger index).
+[[nodiscard]] bool is_annotated(const Trace& trace);
+
+}  // namespace cdn

@@ -1,0 +1,24 @@
+#include "trace/request.hpp"
+
+#include <unordered_set>
+
+namespace cdn {
+
+std::uint64_t Trace::working_set_bytes() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(requests.size());
+  std::uint64_t total = 0;
+  for (const auto& r : requests) {
+    if (seen.insert(r.id).second) total += r.size;
+  }
+  return total;
+}
+
+std::uint64_t Trace::unique_objects() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(requests.size());
+  for (const auto& r : requests) seen.insert(r.id);
+  return seen.size();
+}
+
+}  // namespace cdn

@@ -1,0 +1,45 @@
+// Request / Trace: the fundamental workload types of the simulator.
+//
+// A trace is an ordered sequence of object requests. Object identity is a
+// 64-bit id (hash of the URL/key in a real deployment), `size` is the object
+// payload in bytes, and `time` is a logical timestamp in milliseconds used
+// by the TDC latency model and windowed metrics. `next` is filled by the
+// offline oracle (trace/oracle.hpp) with the index of the next request to
+// the same object, enabling Belady and the ZRO labelers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cdn {
+
+struct Request {
+  std::int64_t time = 0;    ///< milliseconds since trace start
+  std::uint64_t id = 0;     ///< object identifier
+  std::uint64_t size = 1;   ///< object size in bytes (>= 1)
+  std::int64_t next = -1;   ///< index of next request to `id`; kNoNext if none
+
+  static constexpr std::int64_t kNoNext =
+      std::numeric_limits<std::int64_t>::max();
+};
+
+/// An ordered request sequence plus a human-readable name.
+struct Trace {
+  std::string name;
+  std::vector<Request> requests;
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+  const Request& operator[](std::size_t i) const { return requests[i]; }
+  Request& operator[](std::size_t i) { return requests[i]; }
+
+  /// Sum of sizes of unique objects (Table 1's "Working Set Size").
+  [[nodiscard]] std::uint64_t working_set_bytes() const;
+
+  /// Number of distinct object ids.
+  [[nodiscard]] std::uint64_t unique_objects() const;
+};
+
+}  // namespace cdn

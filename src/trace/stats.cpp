@@ -1,0 +1,85 @@
+#include "trace/stats.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/table.hpp"
+
+namespace cdn {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  s.name = trace.name;
+  s.total_requests = trace.requests.size();
+  if (trace.empty()) return s;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(trace.requests.size());
+  std::uint64_t wss = 0;
+  std::uint64_t max_sz = 0;
+  std::uint64_t min_sz = std::numeric_limits<std::uint64_t>::max();
+  double sum_sz = 0.0;
+  for (const auto& r : trace.requests) {
+    auto [it, inserted] = counts.emplace(r.id, 0);
+    if (inserted) wss += r.size;
+    ++it->second;
+    if (r.size > max_sz) max_sz = r.size;
+    if (r.size < min_sz) min_sz = r.size;
+    sum_sz += static_cast<double>(r.size);
+  }
+  s.unique_objects = counts.size();
+  s.max_object_size = max_sz;
+  s.min_object_size = min_sz;
+  s.mean_object_size = sum_sz / static_cast<double>(s.total_requests);
+  s.working_set_bytes = wss;
+
+  std::uint64_t one_hits = 0;
+  for (const auto& [id, c] : counts) {
+    (void)id;
+    if (c == 1) ++one_hits;
+  }
+  s.one_hit_fraction =
+      static_cast<double>(one_hits) / static_cast<double>(counts.size());
+  s.mean_requests_per_object = static_cast<double>(s.total_requests) /
+                               static_cast<double>(s.unique_objects);
+  return s;
+}
+
+std::string format_table1(const std::vector<TraceStats>& stats) {
+  std::vector<std::string> header{"Metric"};
+  for (const auto& s : stats) header.push_back(s.name);
+  Table t(std::move(header));
+
+  auto row = [&](const std::string& metric, auto getter) {
+    std::vector<std::string> cells{metric};
+    for (const auto& s : stats) cells.push_back(getter(s));
+    t.add_row(std::move(cells));
+  };
+  row("Total Requests (M)", [](const TraceStats& s) {
+    return Table::fmt(static_cast<double>(s.total_requests) / 1e6, 3);
+  });
+  row("Unique Objects (M)", [](const TraceStats& s) {
+    return Table::fmt(static_cast<double>(s.unique_objects) / 1e6, 3);
+  });
+  row("Max Object Size", [](const TraceStats& s) {
+    return Table::bytes(static_cast<double>(s.max_object_size));
+  });
+  row("Min Object Size (B)", [](const TraceStats& s) {
+    return std::to_string(s.min_object_size);
+  });
+  row("Mean Object Size", [](const TraceStats& s) {
+    return Table::bytes(s.mean_object_size);
+  });
+  row("Working Set Size", [](const TraceStats& s) {
+    return Table::bytes(static_cast<double>(s.working_set_bytes));
+  });
+  row("One-hit-wonder frac", [](const TraceStats& s) {
+    return Table::pct(s.one_hit_fraction);
+  });
+  row("Reqs per object", [](const TraceStats& s) {
+    return Table::fmt(s.mean_requests_per_object, 2);
+  });
+  return t.str();
+}
+
+}  // namespace cdn

@@ -1,0 +1,30 @@
+// Trace statistics (Table 1 of the paper): request count, unique objects,
+// object-size extremes/mean, working-set size, plus reuse structure
+// (requests per object, fraction of one-hit wonders) used to sanity-check
+// the synthetic generators against the paper's published numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/request.hpp"
+
+namespace cdn {
+
+struct TraceStats {
+  std::string name;
+  std::uint64_t total_requests = 0;
+  std::uint64_t unique_objects = 0;
+  std::uint64_t max_object_size = 0;
+  std::uint64_t min_object_size = 0;
+  double mean_object_size = 0.0;      ///< mean over requests
+  std::uint64_t working_set_bytes = 0;
+  double one_hit_fraction = 0.0;      ///< objects requested exactly once
+  double mean_requests_per_object = 0.0;
+};
+
+[[nodiscard]] TraceStats compute_stats(const Trace& trace);
+
+/// Renders Table-1-style rows (one column per trace) to stdout-ready text.
+[[nodiscard]] std::string format_table1(const std::vector<TraceStats>& stats);
+
+}  // namespace cdn

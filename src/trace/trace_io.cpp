@@ -1,0 +1,97 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdn {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'D', 'N', 'T', 'R', 'A', 'C', 'E'};
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+}  // namespace
+
+void write_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) io_fail("cannot open for write", path);
+  out << "time,id,size\n";
+  for (const auto& r : trace.requests) {
+    out << r.time << ',' << r.id << ',' << r.size << '\n';
+  }
+  if (!out) io_fail("write failed", path);
+}
+
+Trace read_csv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) io_fail("cannot open for read", path);
+  Trace trace;
+  trace.name = name;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1 && !std::isdigit(static_cast<unsigned char>(line[0])) &&
+        line[0] != '-') {
+      continue;  // header
+    }
+    Request r;
+    char* end = nullptr;
+    const char* p = line.c_str();
+    r.time = std::strtoll(p, &end, 10);
+    if (end == p || *end != ',') io_fail("malformed CSV row", path);
+    p = end + 1;
+    r.id = std::strtoull(p, &end, 10);
+    if (end == p || *end != ',') io_fail("malformed CSV row", path);
+    p = end + 1;
+    r.size = std::strtoull(p, &end, 10);
+    if (end == p) io_fail("malformed CSV row", path);
+    if (r.size == 0) io_fail("zero-size object in CSV", path);
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+void write_binary(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail("cannot open for write", path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = trace.requests.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& r : trace.requests) {
+    out.write(reinterpret_cast<const char*>(&r.time), sizeof(r.time));
+    out.write(reinterpret_cast<const char*>(&r.id), sizeof(r.id));
+    out.write(reinterpret_cast<const char*>(&r.size), sizeof(r.size));
+  }
+  if (!out) io_fail("write failed", path);
+}
+
+Trace read_binary(const std::string& path, const std::string& name) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open for read", path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    io_fail("bad magic", path);
+  }
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) io_fail("truncated header", path);
+  Trace trace;
+  trace.name = name;
+  trace.requests.resize(n);
+  for (auto& r : trace.requests) {
+    in.read(reinterpret_cast<char*>(&r.time), sizeof(r.time));
+    in.read(reinterpret_cast<char*>(&r.id), sizeof(r.id));
+    in.read(reinterpret_cast<char*>(&r.size), sizeof(r.size));
+    if (!in) io_fail("truncated record", path);
+  }
+  return trace;
+}
+
+}  // namespace cdn

@@ -1,0 +1,26 @@
+// Trace serialization: a human-readable CSV form ("time,id,size" with a
+// header line) and a compact binary form (magic + count + packed records)
+// for fast reload of large generated traces.
+#pragma once
+
+#include <string>
+
+#include "trace/request.hpp"
+
+namespace cdn {
+
+/// Writes "time,id,size" CSV with a header line. Throws on IO failure.
+void write_csv(const Trace& trace, const std::string& path);
+
+/// Reads a CSV produced by write_csv (or any "time,id,size" file; a
+/// non-numeric first line is treated as a header). Throws on malformed rows.
+[[nodiscard]] Trace read_csv(const std::string& path,
+                             const std::string& name = "csv");
+
+/// Binary format: 8-byte magic "CDNTRACE", u64 count, then per record
+/// i64 time, u64 id, u64 size (little-endian, packed).
+void write_binary(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace read_binary(const std::string& path,
+                                const std::string& name = "bin");
+
+}  // namespace cdn

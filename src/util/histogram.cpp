@@ -1,0 +1,57 @@
+#include "util/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cdn {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LogHistogram::LogHistogram() : buckets_(65, 0) {}
+
+namespace {
+inline std::size_t bucket_of(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : static_cast<std::size_t>(64 - std::countl_zero(v));
+}
+}  // namespace
+
+void LogHistogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  buckets_[bucket_of(value)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t LogHistogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(total_);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    acc += static_cast<double>(buckets_[b]);
+    if (acc >= target) {
+      if (b == 0) return 0;
+      return b >= 64 ? ~0ULL : (1ULL << b) - 1;
+    }
+  }
+  return ~0ULL;
+}
+
+}  // namespace cdn

@@ -1,0 +1,54 @@
+// Small statistics helpers shared by trace stats, LHD's age histograms and
+// the bench reporters: a streaming mean/variance accumulator and a
+// log-bucketed histogram with percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cdn {
+
+/// Welford streaming mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Histogram over non-negative integers with geometrically growing buckets
+/// (power-of-two boundaries). Supports approximate percentile queries; the
+/// answer is the upper bound of the bucket containing the quantile.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// p in [0, 1]; returns bucket upper bound covering that quantile.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // bucket b covers [2^(b-1), 2^b)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cdn

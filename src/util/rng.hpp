@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component in the library (BIP coin flips, MAB restarts,
+// genetic mutation, sampled evictions, trace synthesis) takes an explicit
+// `Rng` so experiments are reproducible bit-for-bit across runs and across
+// threads (each worker owns an independently seeded Rng).
+//
+// The engine is xoshiro256** seeded through SplitMix64, which is fast,
+// high-quality, and has a tiny state (32 bytes) so per-policy embedded RNGs
+// cost almost nothing.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cdn {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Mixes a 64-bit value into a well-distributed 64-bit hash.
+[[nodiscard]] std::uint64_t hash64(std::uint64_t x) noexcept;
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Raw 64 bits.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (uses cached second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Log-normal with the given parameters of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
+  /// Exponential with rate lambda > 0.
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+  /// Derives an independent child generator (for per-thread streams).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cdn

@@ -1,0 +1,35 @@
+// Wall-clock / CPU-time / memory measurement used by the resource
+// experiments (Figures 9 and 11): TPS is requests divided by wall seconds,
+// CPU cost is thread CPU seconds, and peak memory combines the process peak
+// RSS with each policy's self-reported metadata footprint.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cdn {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread, in seconds.
+[[nodiscard]] double thread_cpu_seconds();
+
+/// CPU time consumed by the whole process (user + system), in seconds.
+[[nodiscard]] double process_cpu_seconds();
+
+/// Peak resident set size of the process, in bytes (0 if unavailable).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace cdn

@@ -1,0 +1,34 @@
+// Console table printer used by the bench harness so that every figure's
+// reproduction prints the same row/series layout the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdn {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string fmt(double v, int prec = 2);
+  /// Formats a ratio as a percentage string ("12.34%").
+  static std::string pct(double ratio, int prec = 2);
+  /// Formats a byte count with binary units ("1.5 GiB").
+  static std::string bytes(double b);
+
+  /// Renders the table to a string (header, separator, rows).
+  [[nodiscard]] std::string str() const;
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cdn

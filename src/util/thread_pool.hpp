@@ -1,0 +1,67 @@
+// Fixed-size thread pool used to fan out independent simulations
+// (policy x cache-size x trace grid) and the TDC per-node workers.
+//
+// Design notes (hpc-parallel):
+//  - Single locked deque; tasks here are whole simulations (seconds each),
+//    so queue contention is irrelevant and a lock-free queue would be
+//    complexity without benefit.
+//  - `parallel_for` chunks an index range; each chunk captures its own
+//    state, so no false sharing on hot counters (workers write results
+//    directly into pre-sized slots of the output vector).
+//  - The pool joins in its destructor (RAII); exceptions from tasks are
+//    delivered through the returned futures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cdn {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 -> hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the future resolves with its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits.
+  /// fn must be safe to call concurrently for distinct i.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace cdn

@@ -1,0 +1,35 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdn {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha < 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = acc;
+  }
+  const double norm = 1.0 / acc;
+  for (auto& c : cdf_) c *= norm;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  assert(rank < n_);
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace cdn

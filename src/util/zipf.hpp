@@ -1,0 +1,42 @@
+// Zipf(alpha, n) sampler over ranks {0, ..., n-1}.
+//
+// CDN object popularity is well modeled by a Zipf law (rank-r popularity
+// proportional to 1/r^alpha). The trace generators draw object ranks from
+// this distribution, optionally with popularity churn (rank permutation
+// drift over time) implemented at the generator level.
+//
+// Implementation: precomputed cumulative distribution + binary search.
+// Table construction is O(n); sampling is O(log n). For the n <= ~2M used by
+// the synthetic workloads this is both simple and fast, and — unlike
+// rejection-inversion — exact for small n and any alpha >= 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdn {
+
+class ZipfSampler {
+ public:
+  /// Builds the CDF table for `n` ranks with exponent `alpha` (>= 0).
+  /// alpha == 0 degenerates to the uniform distribution.
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank r.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_[n-1] == 1
+};
+
+}  // namespace cdn

@@ -1,0 +1,158 @@
+// Tests for the histogram GBM (regression and logistic classification).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ml/gbm.hpp"
+#include "ml/metrics.hpp"
+
+namespace cdn::ml {
+namespace {
+
+Dataset regression_sine(std::size_t n, Rng& rng) {
+  Dataset ds(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(rng.uniform(0, 6.28));
+    ds.add_row(std::span<const float>(&x, 1),
+               static_cast<float>(std::sin(x)));
+  }
+  return ds;
+}
+
+Dataset xor_like(std::size_t n, Rng& rng) {
+  Dataset ds(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<float, 2> x{static_cast<float>(rng.uniform(-1, 1)),
+                           static_cast<float>(rng.uniform(-1, 1))};
+    ds.add_row(std::span<const float>(x.data(), 2),
+               (x[0] > 0) != (x[1] > 0) ? 1.0f : 0.0f);
+  }
+  return ds;
+}
+
+TEST(Gbm, UntrainedPredictsBase) {
+  Gbm gbm;
+  EXPECT_FALSE(gbm.trained());
+}
+
+TEST(Gbm, FitsConstant) {
+  Dataset ds(1);
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(i);
+    ds.add_row(std::span<const float>(&x, 1), 7.0f);
+  }
+  Rng rng(1);
+  Gbm gbm;
+  gbm.fit(ds, rng);
+  const float probe = 50.0f;
+  EXPECT_NEAR(gbm.predict(&probe), 7.0, 1e-6);
+}
+
+TEST(Gbm, FitsNonlinearRegression) {
+  Rng rng(3);
+  Dataset train = regression_sine(4000, rng);
+  GbmParams p;
+  p.n_trees = 64;
+  p.max_depth = 4;
+  p.learning_rate = 0.2;
+  Gbm gbm(p);
+  gbm.fit(train, rng);
+  Dataset test = regression_sine(500, rng);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    const double err = gbm.predict(test.row(i)) - test.label(i);
+    sse += err * err;
+  }
+  EXPECT_LT(sse / static_cast<double>(test.rows()), 0.02);
+}
+
+TEST(Gbm, ClassifiesXor) {
+  Rng rng(5);
+  Dataset train = xor_like(4000, rng);
+  GbmParams p;
+  p.n_trees = 40;
+  p.max_depth = 3;
+  p.learning_rate = 0.3;
+  GbmClassifier model(p);
+  model.fit(train, rng);
+  Dataset test = xor_like(500, rng);
+  const auto rep = evaluate(model, test);
+  EXPECT_GT(rep.accuracy, 0.95);
+}
+
+TEST(Gbm, SubsamplingStillLearns) {
+  Rng rng(7);
+  Dataset train = regression_sine(4000, rng);
+  GbmParams p;
+  p.n_trees = 64;
+  p.subsample = 0.5;
+  p.learning_rate = 0.2;
+  Gbm gbm(p);
+  gbm.fit(train, rng);
+  Dataset test = regression_sine(300, rng);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    const double err = gbm.predict(test.row(i)) - test.label(i);
+    sse += err * err;
+  }
+  EXPECT_LT(sse / static_cast<double>(test.rows()), 0.05);
+}
+
+TEST(Gbm, BinnedAndRawInferenceConsistent) {
+  // Train on integer-valued features so bin edges land exactly on values;
+  // the raw-threshold inference path must agree with training routing,
+  // including on boundary values.
+  Rng rng(9);
+  Dataset ds(1);
+  for (int i = 0; i < 2000; ++i) {
+    const float x = static_cast<float>(rng.below(16));
+    ds.add_row(std::span<const float>(&x, 1), x < 8 ? 0.0f : 1.0f);
+  }
+  Gbm gbm(GbmParams{.n_trees = 8, .max_depth = 3, .learning_rate = 0.5});
+  gbm.fit(ds, rng);
+  for (int v = 0; v < 16; ++v) {
+    const float x = static_cast<float>(v);
+    const double pred = gbm.predict(&x);
+    EXPECT_NEAR(pred, v < 8 ? 0.0 : 1.0, 0.15) << "x=" << v;
+  }
+}
+
+TEST(Gbm, ModelBytesGrowWithTrees) {
+  Rng rng(11);
+  Dataset train = regression_sine(1000, rng);
+  Gbm small(GbmParams{.n_trees = 4});
+  Gbm big(GbmParams{.n_trees = 32});
+  small.fit(train, rng);
+  big.fit(train, rng);
+  EXPECT_GT(big.model_bytes(), small.model_bytes());
+}
+
+TEST(Gbm, EmptyDatasetSafe) {
+  Gbm gbm;
+  Rng rng(13);
+  Dataset empty(3);
+  gbm.fit(empty, rng);
+  EXPECT_FALSE(gbm.trained());
+}
+
+TEST(Gbm, MinSamplesLeafRespected) {
+  // With min_samples_leaf = dataset size, no split is possible: the single
+  // tree collapses to a leaf predicting the mean.
+  Dataset ds(1);
+  Rng rng(15);
+  for (int i = 0; i < 64; ++i) {
+    const float x = static_cast<float>(i);
+    ds.add_row(std::span<const float>(&x, 1), x < 32 ? 0.0f : 1.0f);
+  }
+  Gbm gbm(GbmParams{.n_trees = 1,
+                    .learning_rate = 1.0,
+                    .min_samples_leaf = 64,
+                    .lambda = 0.0});
+  gbm.fit(ds, rng);
+  const float probe = 5.0f;
+  EXPECT_NEAR(gbm.predict(&probe), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace cdn::ml

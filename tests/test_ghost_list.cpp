@@ -1,0 +1,84 @@
+// Tests for the FIFO byte-bounded history list (shadow cache).
+#include <gtest/gtest.h>
+
+#include "sim/ghost_list.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(GhostList, AddAndContains) {
+  GhostList g(100);
+  g.add(1, 10);
+  EXPECT_TRUE(g.contains(1));
+  EXPECT_FALSE(g.contains(2));
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_EQ(g.used_bytes(), 10u);
+}
+
+TEST(GhostList, EraseReturnsSizeAndTag) {
+  GhostList g(100);
+  g.add(1, 42, true);
+  std::uint64_t size = 0;
+  bool tag = false;
+  EXPECT_TRUE(g.erase(1, &size, &tag));
+  EXPECT_EQ(size, 42u);
+  EXPECT_TRUE(tag);
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_FALSE(g.erase(1));
+}
+
+TEST(GhostList, DefaultTagFalse) {
+  GhostList g(100);
+  g.add(3, 5);
+  bool tag = true;
+  g.erase(3, nullptr, &tag);
+  EXPECT_FALSE(tag);
+}
+
+TEST(GhostList, FifoEvictionOnOverflow) {
+  GhostList g(30);
+  g.add(1, 10);
+  g.add(2, 10);
+  g.add(3, 10);
+  g.add(4, 10);  // evicts 1 (oldest)
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_TRUE(g.contains(4));
+  EXPECT_LE(g.used_bytes(), 30u);
+}
+
+TEST(GhostList, ReAddRefreshesToFront) {
+  GhostList g(30);
+  g.add(1, 10);
+  g.add(2, 10);
+  g.add(3, 10);
+  g.add(1, 10);  // refresh: 1 becomes newest
+  g.add(4, 10);  // evicts 2 now, not 1
+  EXPECT_TRUE(g.contains(1));
+  EXPECT_FALSE(g.contains(2));
+}
+
+TEST(GhostList, OversizedRecordIgnored) {
+  GhostList g(10);
+  g.add(1, 100);
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_EQ(g.used_bytes(), 0u);
+}
+
+TEST(GhostList, ByteBoundHeldUnderChurn) {
+  GhostList g(1000);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    g.add(i, 1 + i % 97);
+    ASSERT_LE(g.used_bytes(), 1000u);
+  }
+}
+
+TEST(GhostList, MetadataProportionalToCount) {
+  GhostList g(1000);
+  g.add(1, 10);
+  g.add(2, 10);
+  EXPECT_EQ(g.metadata_bytes(), 2 * GhostList::kPerEntryBytes);
+}
+
+}  // namespace
+}  // namespace cdn

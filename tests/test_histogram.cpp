@@ -1,0 +1,92 @@
+// Unit tests for RunningStats and LogHistogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/histogram.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(LogHistogram, EmptyPercentileZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LogHistogram, SingleBucket) {
+  LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.add(5);  // bucket [4,8)
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.percentile(0.5), 7u);  // upper bound of the bucket
+}
+
+TEST(LogHistogram, ZeroValues) {
+  LogHistogram h;
+  h.add(0, 100);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(LogHistogram, PercentileMonotone) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.add(v);
+  std::uint64_t prev = 0;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const auto q = h.percentile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(LogHistogram, WeightsCount) {
+  LogHistogram h;
+  h.add(1, 3);
+  h.add(1000, 1);
+  EXPECT_EQ(h.total(), 4u);
+  // 75 % of the mass is at value 1 -> p50 is in value-1's bucket.
+  EXPECT_LE(h.percentile(0.5), 1u);
+}
+
+TEST(LogHistogram, ClampsOutOfRangeP) {
+  LogHistogram h;
+  h.add(42);
+  EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+}  // namespace
+}  // namespace cdn

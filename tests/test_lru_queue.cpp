@@ -1,0 +1,225 @@
+// Tests for the slab-backed LRU queue, including a randomized differential
+// test against a straightforward std::list reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <set>
+#include <vector>
+
+#include "sim/lru_queue.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(LruQueue, InsertAndFind) {
+  LruQueue q;
+  q.insert_mru(1, 100);
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_FALSE(q.contains(2));
+  EXPECT_EQ(q.used_bytes(), 100u);
+  EXPECT_EQ(q.count(), 1u);
+  ASSERT_NE(q.find(1), nullptr);
+  EXPECT_EQ(q.find(1)->size, 100u);
+  EXPECT_EQ(q.find(2), nullptr);
+}
+
+TEST(LruQueue, InsertPositionMarks) {
+  LruQueue q;
+  EXPECT_EQ(q.insert_mru(1, 1).insert_pos, 1);
+  EXPECT_EQ(q.insert_lru(2, 1).insert_pos, 0);
+}
+
+TEST(LruQueue, PopLruOrder) {
+  LruQueue q;
+  q.insert_mru(1, 1);
+  q.insert_mru(2, 1);
+  q.insert_mru(3, 1);
+  EXPECT_EQ(q.pop_lru().id, 1u);
+  EXPECT_EQ(q.pop_lru().id, 2u);
+  EXPECT_EQ(q.pop_lru().id, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LruQueue, InsertLruGoesToTail) {
+  LruQueue q;
+  q.insert_mru(1, 1);
+  q.insert_lru(2, 1);
+  EXPECT_EQ(q.lru_id(), 2u);
+  EXPECT_EQ(q.mru_id(), 1u);
+}
+
+TEST(LruQueue, TouchMovesToMru) {
+  LruQueue q;
+  q.insert_mru(1, 1);
+  q.insert_mru(2, 1);
+  q.insert_mru(3, 1);
+  q.touch_mru(1);
+  EXPECT_EQ(q.mru_id(), 1u);
+  EXPECT_EQ(q.pop_lru().id, 2u);
+}
+
+TEST(LruQueue, MoveUpOneSwapsWithNeighbor) {
+  LruQueue q;
+  q.insert_mru(1, 1);  // order MRU->LRU: 3 2 1
+  q.insert_mru(2, 1);
+  q.insert_mru(3, 1);
+  q.move_up_one(1);  // -> 3 1 2
+  EXPECT_EQ(q.pop_lru().id, 2u);
+  EXPECT_EQ(q.pop_lru().id, 1u);
+  EXPECT_EQ(q.pop_lru().id, 3u);
+}
+
+TEST(LruQueue, MoveUpOneAtMruIsNoop) {
+  LruQueue q;
+  q.insert_mru(1, 1);
+  q.insert_mru(2, 1);
+  q.move_up_one(2);
+  EXPECT_EQ(q.mru_id(), 2u);
+}
+
+TEST(LruQueue, DemoteLru) {
+  LruQueue q;
+  q.insert_mru(1, 1);
+  q.insert_mru(2, 1);
+  q.demote_lru(2);
+  EXPECT_EQ(q.lru_id(), 2u);
+}
+
+TEST(LruQueue, EraseReturnsNode) {
+  LruQueue q;
+  q.insert_mru(1, 10);
+  q.insert_mru(2, 20);
+  LruQueue::Node out{};
+  EXPECT_TRUE(q.erase(1, &out));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_EQ(out.size, 10u);
+  EXPECT_EQ(q.used_bytes(), 20u);
+  EXPECT_FALSE(q.erase(1));
+}
+
+TEST(LruQueue, SingleElementEdgeCases) {
+  LruQueue q;
+  q.insert_mru(9, 5);
+  EXPECT_EQ(q.lru_id(), 9u);
+  EXPECT_EQ(q.mru_id(), 9u);
+  q.touch_mru(9);
+  q.move_up_one(9);
+  q.demote_lru(9);
+  EXPECT_EQ(q.pop_lru().id, 9u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.used_bytes(), 0u);
+}
+
+TEST(LruQueue, SlabReuseAfterErase) {
+  LruQueue q;
+  for (std::uint64_t round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 100; ++i) q.insert_mru(i, 1);
+    for (std::uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(q.erase(i));
+  }
+  EXPECT_TRUE(q.empty());
+  // Metadata should reflect slab high-water mark, not leak per round.
+  EXPECT_LE(q.metadata_bytes(), 100u * 200u);
+}
+
+TEST(LruQueue, SampleReturnsResidentObjects) {
+  LruQueue q;
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 50; ++i) q.insert_mru(i, 1);
+  std::set<std::uint64_t> seen;
+  for (int s = 0; s < 2000; ++s) seen.insert(q.sample(rng).id);
+  EXPECT_GT(seen.size(), 40u);  // near-uniform coverage
+  for (auto id : seen) EXPECT_LT(id, 50u);
+}
+
+TEST(LruQueue, ForEachFromLruOrderAndEarlyStop) {
+  LruQueue q;
+  q.insert_mru(1, 1);
+  q.insert_mru(2, 1);
+  q.insert_mru(3, 1);
+  std::vector<std::uint64_t> order;
+  q.for_each_from_lru([&](const LruQueue::Node& n) {
+    order.push_back(n.id);
+    return order.size() < 2;
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+}
+
+// Differential test: random operations against a std::list reference.
+TEST(LruQueue, MatchesReferenceModelUnderRandomOps) {
+  LruQueue q;
+  std::list<std::uint64_t> ref;  // front = MRU
+  auto ref_find = [&](std::uint64_t id) {
+    return std::find(ref.begin(), ref.end(), id);
+  };
+  Rng rng(1234);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t id = rng.below(64);
+    switch (rng.below(6)) {
+      case 0:
+        if (!q.contains(id)) {
+          q.insert_mru(id, 1);
+          ref.push_front(id);
+        }
+        break;
+      case 1:
+        if (!q.contains(id)) {
+          q.insert_lru(id, 1);
+          ref.push_back(id);
+        }
+        break;
+      case 2:
+        if (q.contains(id)) {
+          q.touch_mru(id);
+          ref.erase(ref_find(id));
+          ref.push_front(id);
+        }
+        break;
+      case 3:
+        if (q.contains(id)) {
+          q.demote_lru(id);
+          ref.erase(ref_find(id));
+          ref.push_back(id);
+        }
+        break;
+      case 4:
+        if (q.contains(id)) {
+          q.move_up_one(id);
+          auto it = ref_find(id);
+          if (it != ref.begin()) {
+            auto prev = std::prev(it);
+            std::iter_swap(it, prev);
+          }
+        }
+        break;
+      case 5:
+        if (!ref.empty() && rng.chance(0.5)) {
+          EXPECT_EQ(q.pop_lru().id, ref.back());
+          ref.pop_back();
+        } else if (q.contains(id)) {
+          q.erase(id);
+          ref.erase(ref_find(id));
+        }
+        break;
+    }
+    ASSERT_EQ(q.count(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(q.mru_id(), ref.front());
+      ASSERT_EQ(q.lru_id(), ref.back());
+    }
+  }
+  // Final full-order comparison.
+  std::vector<std::uint64_t> got;
+  q.for_each_from_lru([&](const LruQueue::Node& n) {
+    got.push_back(n.id);
+    return true;
+  });
+  std::vector<std::uint64_t> want(ref.rbegin(), ref.rend());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace cdn

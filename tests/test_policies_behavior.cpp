@@ -1,0 +1,156 @@
+// Behavioral tests for the insertion-policy baselines: each policy's
+// distinguishing mechanism is exercised on a crafted sequence.
+#include <gtest/gtest.h>
+
+#include "policies/insertion/bip.hpp"
+#include "policies/insertion/daaip.hpp"
+#include "policies/insertion/dgippr.hpp"
+#include "policies/insertion/dip.hpp"
+#include "policies/insertion/dta.hpp"
+#include "policies/insertion/lip.hpp"
+#include "policies/insertion/pipp.hpp"
+#include "policies/insertion/ship.hpp"
+#include "policies/replacement/lru.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace cdn {
+namespace {
+
+Request req(std::int64_t t, std::uint64_t id, std::uint64_t size = 10) {
+  return Request{t, id, size, -1};
+}
+
+TEST(Lru, ExactEvictionOrder) {
+  LruCache c(30);  // three 10-byte objects
+  c.access(req(0, 1));
+  c.access(req(1, 2));
+  c.access(req(2, 3));
+  c.access(req(3, 1));  // hit; order MRU->LRU: 1 3 2
+  c.access(req(4, 4));  // evicts 2
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(Lip, NewObjectsEnterAtLruEnd) {
+  LipCache c(30);
+  c.access(req(0, 1));
+  c.access(req(1, 2));  // order: 1 is older logically but 2 entered at LRU
+  c.access(req(2, 3));  // 3 at LRU end; inserting 4 evicts 3 first
+  c.access(req(3, 4));
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(Lip, HitPromotesToMru) {
+  LipCache c(30);
+  c.access(req(0, 1));
+  c.access(req(1, 2));
+  EXPECT_TRUE(c.access(req(2, 2)));  // promote 2
+  c.access(req(3, 3));
+  c.access(req(4, 4));  // evicts 3 (LRU-inserted), not promoted 2
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+}
+
+TEST(Bip, EpsilonZeroBehavesLikeLip) {
+  BipCache bip(30, 0.0, 1);
+  LipCache lip(30);
+  const Trace t = generate_trace(cdn_t_like(0.005));
+  std::uint64_t hb = 0;
+  std::uint64_t hl = 0;
+  for (const auto& r : t.requests) {
+    if (bip.access(r)) ++hb;
+    if (lip.access(r)) ++hl;
+  }
+  EXPECT_EQ(hb, hl);
+}
+
+TEST(Bip, EpsilonOneBehavesLikeLru) {
+  BipCache bip(30, 1.0, 1);
+  LruCache lru(30);
+  const Trace t = generate_trace(cdn_t_like(0.005));
+  std::uint64_t hb = 0;
+  std::uint64_t hl = 0;
+  for (const auto& r : t.requests) {
+    if (bip.access(r)) ++hb;
+    if (lru.access(r)) ++hl;
+  }
+  EXPECT_EQ(hb, hl);
+}
+
+TEST(Dip, SelectorMovesUnderOneSidedMisses) {
+  DipCache c(1 << 20);
+  EXPECT_FALSE(c.bip_winning());
+  // A stream of never-repeating objects: both monitors miss everything,
+  // PSEL drifts with whichever slice gets more traffic; just assert the
+  // duel machinery stays in bounds and the cache works.
+  for (int i = 0; i < 50000; ++i) {
+    c.access(req(i, 1000 + i));
+  }
+  EXPECT_LE(c.used_bytes(), 1u << 20);
+}
+
+TEST(Pipp, HitMovesOneStepOnly) {
+  PippCache c(30, /*p_prom=*/1.0);
+  c.access(req(0, 1));
+  c.access(req(1, 2));
+  c.access(req(2, 3));
+  // LIP-style insertion: queue LRU->MRU is 3 2 1.
+  EXPECT_TRUE(c.access(req(3, 3)));  // 3 moves one step: 2 3 1
+  c.access(req(4, 4));               // evicts LRU = 2... order check below
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Ship, LearnsDeadSignatureAndInsertsAtLru) {
+  ShipCache c(30);
+  // Train: object 1 inserted, never hit, evicted repeatedly -> its
+  // signature's counter hits zero -> subsequent insertions go to LRU end.
+  for (int round = 0; round < 4; ++round) {
+    c.access(req(round * 4 + 0, 1));
+    c.access(req(round * 4 + 1, 100 + round));  // filler
+    c.access(req(round * 4 + 2, 200 + round));
+    c.access(req(round * 4 + 3, 300 + round));  // 1 evicted unused
+  }
+  // Now resident set is fresh fillers; insert 1 (predicted dead) and one
+  // more filler: 1 must be the first evicted.
+  c.access(req(100, 1));
+  c.access(req(101, 400));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Daaip, DeadPredictionDemotesInsertion) {
+  DaaipCache c(30);
+  for (int round = 0; round < 4; ++round) {
+    c.access(req(round * 4 + 0, 1));
+    c.access(req(round * 4 + 1, 100 + round));
+    c.access(req(round * 4 + 2, 200 + round));
+    c.access(req(round * 4 + 3, 300 + round));
+  }
+  c.access(req(100, 1));    // predicted dead -> LRU position
+  c.access(req(101, 400));  // evicts 1 immediately
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Dta, TrainsTreeFromEvictionOutcomes) {
+  DtaCache c(1 << 16, 3);
+  const Trace t = generate_trace(cdn_w_like(0.02));
+  for (const auto& r : t.requests) c.access(r);
+  EXPECT_TRUE(c.tree_trained());
+  EXPECT_LE(c.used_bytes(), 1u << 16);
+}
+
+TEST(Dgippr, GenerationsAdvance) {
+  DgipprCache c(1 << 20, 7);
+  const Trace t = generate_trace(cdn_t_like(0.2));
+  for (const auto& r : t.requests) c.access(r);
+  // 200k requests / 20k epoch / 8 genomes > 1 generation.
+  EXPECT_GE(c.generations(), 1);
+  EXPECT_LE(c.used_bytes(), 1u << 20);
+}
+
+}  // namespace
+}  // namespace cdn

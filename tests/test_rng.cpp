@@ -1,0 +1,189 @@
+// Unit tests for the deterministic RNG and the Zipf sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.below(8)];
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 expected each
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRate) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  Rng rng(21);
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.1);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(25);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Hash64, DistinctInputsDistinctHashes) {
+  EXPECT_NE(hash64(1), hash64(2));
+  EXPECT_EQ(hash64(123), hash64(123));
+}
+
+TEST(Zipf, RejectsInvalidArgs) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 0.8);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  ZipfSampler z(50, 1.0);
+  for (std::size_t r = 1; r < 50; ++r) {
+    EXPECT_LE(z.pmf(r), z.pmf(r - 1) + 1e-12);
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-9);
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+  ZipfSampler z(20, 0.9);
+  Rng rng(77);
+  std::vector<int> counts(20, 0);
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.pmf(r), 0.01);
+  }
+}
+
+TEST(Zipf, SampleWithinRange) {
+  ZipfSampler z(5, 1.2);
+  Rng rng(79);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 5u);
+}
+
+}  // namespace
+}  // namespace cdn

@@ -1,0 +1,109 @@
+// Tests for the simulation driver and the parallel sweep.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "policies/replacement/lru.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "trace/generator.hpp"
+
+namespace cdn {
+namespace {
+
+Trace tiny_trace() {
+  Trace t;
+  t.name = "tiny";
+  // ids 1,2 fit together; 3 is oversized for a 100-byte cache.
+  t.requests = {{0, 1, 40, -1}, {1, 2, 40, -1}, {2, 1, 40, -1},
+                {3, 3, 500, -1}, {4, 2, 40, -1}};
+  return t;
+}
+
+TEST(Simulator, CountsHitsAndBytes) {
+  LruCache cache(100);
+  const auto res = simulate(cache, tiny_trace(), {.warmup_frac = 0.0});
+  EXPECT_EQ(res.requests, 5u);
+  // 1 and 2 hit on re-access; 3 bypasses (oversized).
+  EXPECT_EQ(res.hits, 2u);
+  EXPECT_EQ(res.bytes_total, 660u);
+  EXPECT_EQ(res.bytes_hit, 80u);
+  EXPECT_NEAR(res.object_miss_ratio(), 0.6, 1e-12);
+  EXPECT_NEAR(res.byte_miss_ratio(), 1.0 - 80.0 / 660.0, 1e-12);
+}
+
+TEST(Simulator, OversizedObjectNeverAdmitted) {
+  LruCache cache(100);
+  const Trace t = tiny_trace();
+  (void)simulate(cache, t);
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_LE(cache.used_bytes(), 100u);
+}
+
+TEST(Simulator, WarmupSplit) {
+  LruCache cache(100);
+  const auto res = simulate(cache, tiny_trace(), {.warmup_frac = 0.4});
+  // Warm-up covers the first 2 requests; warm stats cover the last 3.
+  EXPECT_EQ(res.warm_requests, 3u);
+  EXPECT_EQ(res.warm_hits, 2u);
+}
+
+TEST(Simulator, WindowSeries) {
+  LruCache cache(1 << 20);
+  Trace t;
+  for (int i = 0; i < 250; ++i) {
+    t.requests.push_back({i, static_cast<std::uint64_t>(i % 10), 1, -1});
+  }
+  const auto res = simulate(cache, t, {.window = 100, .warmup_frac = 0.0});
+  ASSERT_EQ(res.window_miss_ratios.size(), 3u);  // 100 + 100 + 50
+  // First window has the 10 cold misses; later windows are all hits.
+  EXPECT_NEAR(res.window_miss_ratios[0], 0.10, 1e-12);
+  EXPECT_NEAR(res.window_miss_ratios[1], 0.0, 1e-12);
+}
+
+TEST(Simulator, MetadataPeakTracked) {
+  LruCache cache(1 << 20);
+  Trace t;
+  for (int i = 0; i < 1000; ++i) {
+    t.requests.push_back({i, static_cast<std::uint64_t>(i), 64, -1});
+  }
+  const auto res = simulate(cache, t, {.metadata_sample_every = 100});
+  EXPECT_GT(res.metadata_peak_bytes, 0u);
+}
+
+TEST(Simulator, EmptyTrace) {
+  LruCache cache(100);
+  const auto res = simulate(cache, Trace{});
+  EXPECT_EQ(res.requests, 0u);
+  EXPECT_EQ(res.object_miss_ratio(), 0.0);
+  EXPECT_EQ(res.tps(), 0.0);
+}
+
+TEST(Sweep, ResultsInJobOrderAndMatchSerial) {
+  const Trace t = generate_trace(cdn_t_like(0.01));
+  const std::uint64_t cap = 50ULL << 20;
+  std::vector<SweepJob> jobs;
+  for (const char* name : {"LRU", "LIP", "BIP"}) {
+    jobs.push_back(SweepJob{
+        [name, cap] { return make_cache(name, cap); }, &t, SimOptions{}});
+  }
+  const auto parallel = run_sweep(jobs, 3);
+  ASSERT_EQ(parallel.size(), 3u);
+  EXPECT_EQ(parallel[0].policy, "LRU");
+  EXPECT_EQ(parallel[1].policy, "LIP");
+  EXPECT_EQ(parallel[2].policy, "BIP");
+  // Parallel execution must not change simulation outcomes.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto cache = jobs[i].make_cache();
+    const auto serial = simulate(*cache, t);
+    EXPECT_EQ(parallel[i].hits, serial.hits);
+    EXPECT_EQ(parallel[i].requests, serial.requests);
+  }
+}
+
+TEST(Sweep, RejectsIncompleteJob) {
+  std::vector<SweepJob> jobs{SweepJob{}};
+  EXPECT_THROW(run_sweep(jobs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdn

@@ -1,0 +1,54 @@
+// Unit tests for the console table formatter.
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(Table, FormatsDouble) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, FormatsPercent) {
+  EXPECT_EQ(Table::pct(0.1234), "12.34%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, FormatsBytes) {
+  EXPECT_EQ(Table::bytes(512), "512.00 B");
+  EXPECT_EQ(Table::bytes(2048), "2.00 KiB");
+  EXPECT_EQ(Table::bytes(3.0 * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  const std::string out = t.str();
+  // Header row and data row should place 'y' / '1' at the same column.
+  const auto header_end = out.find('\n');
+  const auto y_pos = out.find('y');
+  const auto one_pos = out.find('1', header_end);
+  const auto row_start = out.rfind('\n', one_pos);
+  EXPECT_EQ(y_pos, one_pos - row_start - 1);
+}
+
+}  // namespace
+}  // namespace cdn

@@ -1,0 +1,82 @@
+// Unit tests for the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> marks(1000, 0);
+  pool.parallel_for(0, marks.size(), [&](std::size_t i) { marks[i] = 1; });
+  EXPECT_EQ(std::accumulate(marks.begin(), marks.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SizeReflectsWorkers) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace cdn

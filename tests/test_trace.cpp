@@ -1,0 +1,213 @@
+// Tests for the synthetic workload generators, trace IO, statistics and the
+// next-access oracle.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+
+#include "trace/generator.hpp"
+#include "trace/oracle.hpp"
+#include "trace/stats.hpp"
+#include "trace/trace_io.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(Generator, Deterministic) {
+  const auto spec = cdn_t_like(0.02);
+  const Trace a = generate_trace(spec);
+  const Trace b = generate_trace(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].size, b[i].size);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(Generator, SeedChangesTrace) {
+  auto spec = cdn_t_like(0.02);
+  const Trace a = generate_trace(spec);
+  spec.seed += 1;
+  const Trace b = generate_trace(spec);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id) ++diff;
+  }
+  EXPECT_GT(diff, a.size() / 4);
+}
+
+TEST(Generator, RequestCountMatchesSpec) {
+  auto spec = cdn_w_like(0.05);
+  EXPECT_EQ(generate_trace(spec).size(), spec.n_requests);
+}
+
+TEST(Generator, TimestampsNonDecreasing) {
+  const Trace t = generate_trace(cdn_a_like(0.02));
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t[i].time, t[i - 1].time);
+  }
+}
+
+TEST(Generator, SizesWithinSpecBounds) {
+  const auto spec = cdn_t_like(0.02);
+  const Trace t = generate_trace(spec);
+  for (const auto& r : t.requests) {
+    EXPECT_GE(r.size, spec.min_size);
+    EXPECT_LE(r.size, spec.max_size);
+  }
+}
+
+TEST(Generator, SizeIsStablePerObject) {
+  const Trace t = generate_trace(cdn_w_like(0.05));
+  std::unordered_map<std::uint64_t, std::uint64_t> sizes;
+  for (const auto& r : t.requests) {
+    auto [it, fresh] = sizes.emplace(r.id, r.size);
+    if (!fresh) EXPECT_EQ(it->second, r.size);
+  }
+}
+
+TEST(Generator, RejectsEmptySpec) {
+  WorkloadSpec s;
+  s.n_requests = 0;
+  EXPECT_THROW(generate_trace(s), std::invalid_argument);
+  s.n_requests = 10;
+  s.catalog_size = 0;
+  EXPECT_THROW(generate_trace(s), std::invalid_argument);
+}
+
+TEST(Generator, WorkloadCharacterOrdering) {
+  // CDN-A is one-hit-wonder-heavy, CDN-W reuse-heavy (Table 1 structure).
+  const auto sa = compute_stats(generate_trace(cdn_a_like(0.1)));
+  const auto st = compute_stats(generate_trace(cdn_t_like(0.1)));
+  const auto sw = compute_stats(generate_trace(cdn_w_like(0.1)));
+  EXPECT_GT(sa.one_hit_fraction, st.one_hit_fraction);
+  EXPECT_GT(st.one_hit_fraction, sw.one_hit_fraction);
+  EXPECT_GT(sw.mean_requests_per_object, st.mean_requests_per_object);
+}
+
+TEST(Generator, MeanSizeNearTarget) {
+  const auto spec = cdn_t_like(0.1);
+  const auto s = compute_stats(generate_trace(spec));
+  EXPECT_GT(s.mean_object_size, spec.mean_size * 0.5);
+  EXPECT_LT(s.mean_object_size, spec.mean_size * 2.5);
+}
+
+TEST(TraceType, WorkingSetAndUniqueCounts) {
+  Trace t;
+  t.requests = {{0, 1, 100, -1}, {1, 2, 200, -1}, {2, 1, 100, -1}};
+  EXPECT_EQ(t.unique_objects(), 2u);
+  EXPECT_EQ(t.working_set_bytes(), 300u);
+}
+
+TEST(Stats, HandCheckedTrace) {
+  Trace t;
+  t.name = "mini";
+  t.requests = {{0, 1, 10, -1}, {1, 2, 30, -1}, {2, 1, 10, -1},
+                {3, 3, 20, -1}};
+  const auto s = compute_stats(t);
+  EXPECT_EQ(s.total_requests, 4u);
+  EXPECT_EQ(s.unique_objects, 3u);
+  EXPECT_EQ(s.max_object_size, 30u);
+  EXPECT_EQ(s.min_object_size, 10u);
+  EXPECT_DOUBLE_EQ(s.mean_object_size, 17.5);
+  EXPECT_EQ(s.working_set_bytes, 60u);
+  EXPECT_NEAR(s.one_hit_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, Table1Renders) {
+  const auto s = compute_stats(generate_trace(cdn_t_like(0.01)));
+  const auto text = format_table1({s});
+  EXPECT_NE(text.find("CDN-T"), std::string::npos);
+  EXPECT_NE(text.find("Working Set Size"), std::string::npos);
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(csv_path_.c_str());
+    std::remove(bin_path_.c_str());
+  }
+  std::string csv_path_ = "/tmp/scip_test_trace.csv";
+  std::string bin_path_ = "/tmp/scip_test_trace.bin";
+};
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  const Trace t = generate_trace(cdn_t_like(0.005));
+  write_csv(t, csv_path_);
+  const Trace back = read_csv(csv_path_, t.name);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].id, t[i].id);
+    EXPECT_EQ(back[i].size, t[i].size);
+    EXPECT_EQ(back[i].time, t[i].time);
+  }
+}
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const Trace t = generate_trace(cdn_w_like(0.005));
+  write_binary(t, bin_path_);
+  const Trace back = read_binary(bin_path_, t.name);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].id, t[i].id);
+    EXPECT_EQ(back[i].size, t[i].size);
+  }
+}
+
+TEST_F(TraceIoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/tmp/definitely_not_there.csv"),
+               std::runtime_error);
+  EXPECT_THROW(read_binary("/tmp/definitely_not_there.bin"),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MalformedCsvThrows) {
+  {
+    std::FILE* f = std::fopen(csv_path_.c_str(), "w");
+    std::fputs("time,id,size\n1,2\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_csv(csv_path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows) {
+  {
+    std::FILE* f = std::fopen(bin_path_.c_str(), "w");
+    std::fputs("NOTATRACE", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_binary(bin_path_), std::runtime_error);
+}
+
+TEST(Oracle, AnnotatesNextAccess) {
+  Trace t;
+  t.requests = {{0, 5, 1, -1}, {1, 7, 1, -1}, {2, 5, 1, -1}, {3, 5, 1, -1}};
+  annotate_next_access(t);
+  EXPECT_EQ(t[0].next, 2);
+  EXPECT_EQ(t[1].next, Request::kNoNext);
+  EXPECT_EQ(t[2].next, 3);
+  EXPECT_EQ(t[3].next, Request::kNoNext);
+  EXPECT_TRUE(is_annotated(t));
+}
+
+TEST(Oracle, UnannotatedDetected) {
+  Trace t;
+  t.requests = {{0, 5, 1, -1}};
+  EXPECT_FALSE(is_annotated(t));
+}
+
+TEST(Oracle, NextAlwaysStrictlyForward) {
+  Trace t = generate_trace(cdn_a_like(0.01));
+  annotate_next_access(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].next != Request::kNoNext) {
+      ASSERT_GT(t[i].next, static_cast<std::int64_t>(i));
+      EXPECT_EQ(t[static_cast<std::size_t>(t[i].next)].id, t[i].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdn

@@ -1,0 +1,140 @@
+// Property tests for the phase structure of the synthetic workloads — the
+// properties the SCIP experiments depend on (DESIGN.md §6), so a generator
+// regression cannot silently invalidate the figure benches.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/residency.hpp"
+#include "trace/generator.hpp"
+
+namespace cdn {
+namespace {
+
+TEST(WorkloadStructure, ScanWindowsAreOneHitDense) {
+  auto spec = cdn_t_like(0.2);
+  ASSERT_GT(spec.scan_interval, 0u);
+  const Trace t = generate_trace(spec);
+  // Count per-position repeat behaviour: ids in scan windows should be
+  // overwhelmingly unique (never-again objects).
+  std::unordered_map<std::uint64_t, int> counts;
+  for (const auto& r : t.requests) ++counts[r.id];
+  std::size_t scan_reqs = 0;
+  std::size_t scan_singletons = 0;
+  std::size_t normal_reqs = 0;
+  std::size_t normal_singletons = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool in_scan = (i % spec.scan_interval) < spec.scan_length;
+    const bool single = counts[t[i].id] == 1;
+    if (in_scan) {
+      ++scan_reqs;
+      scan_singletons += single ? 1 : 0;
+    } else {
+      ++normal_reqs;
+      normal_singletons += single ? 1 : 0;
+    }
+  }
+  const double scan_frac =
+      static_cast<double>(scan_singletons) / static_cast<double>(scan_reqs);
+  const double normal_frac = static_cast<double>(normal_singletons) /
+                             static_cast<double>(normal_reqs);
+  EXPECT_GT(scan_frac, normal_frac + 0.2);  // scans are one-hit dense
+}
+
+TEST(WorkloadStructure, BurstWavesRaisePairShare) {
+  // CDN-T mints fresh ids for bursts (burst_from_catalog = false), so a
+  // pair object is identifiable as "exactly two accesses".
+  auto spec = cdn_t_like(0.2);
+  ASSERT_GT(spec.burst_wave_interval, 0u);
+  const Trace t = generate_trace(spec);
+  std::unordered_map<std::uint64_t, int> counts;
+  for (const auto& r : t.requests) ++counts[r.id];
+  // Pair objects (exactly two accesses) should concentrate inside waves.
+  std::size_t wave_pairs = 0;
+  std::size_t wave_reqs = 0;
+  std::size_t calm_pairs = 0;
+  std::size_t calm_reqs = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool in_wave =
+        (i % spec.burst_wave_interval) < spec.burst_wave_length;
+    const bool pair = counts[t[i].id] == 2;
+    if (in_wave) {
+      ++wave_reqs;
+      wave_pairs += pair ? 1 : 0;
+    } else {
+      ++calm_reqs;
+      calm_pairs += pair ? 1 : 0;
+    }
+  }
+  EXPECT_GT(static_cast<double>(wave_pairs) / static_cast<double>(wave_reqs),
+            static_cast<double>(calm_pairs) /
+                static_cast<double>(calm_reqs));
+}
+
+TEST(WorkloadStructure, LoopObjectsCycleWithStablePeriod) {
+  auto spec = cdn_w_like(0.2);
+  ASSERT_GT(spec.loop_objects, 0u);
+  const Trace t = generate_trace(spec);
+  // Loop ids live in their dedicated id space (1 << 42).
+  const std::uint64_t loop_base = 1ULL << 42;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> loop_hits;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].id >= loop_base && t[i].id < (1ULL << 43)) {
+      loop_hits[t[i].id].push_back(i);
+    }
+  }
+  ASSERT_FALSE(loop_hits.empty());
+  // Every loop object is re-visited, with gaps near loop_objects / p_loop.
+  const double expect_gap =
+      static_cast<double>(spec.loop_objects) / spec.p_loop;
+  std::size_t revisited = 0;
+  double gap_sum = 0.0;
+  std::size_t gap_n = 0;
+  for (const auto& [id, hits] : loop_hits) {
+    (void)id;
+    if (hits.size() < 2) continue;
+    ++revisited;
+    for (std::size_t k = 1; k < hits.size(); ++k) {
+      gap_sum += static_cast<double>(hits[k] - hits[k - 1]);
+      ++gap_n;
+    }
+  }
+  EXPECT_GT(revisited, loop_hits.size() / 2);
+  const double mean_gap = gap_sum / static_cast<double>(gap_n);
+  EXPECT_GT(mean_gap, expect_gap * 0.5);
+  EXPECT_LT(mean_gap, expect_gap * 2.0);
+}
+
+TEST(WorkloadStructure, PzroEventsConcentrateInWaves) {
+  auto spec = cdn_w_like(0.2);
+  const Trace t = generate_trace(spec);
+  const auto an = analysis::analyze_zro(t, t.working_set_bytes() / 17);
+  std::size_t wave_pzro = 0;
+  std::size_t wave_hits = 0;
+  std::size_t calm_pzro = 0;
+  std::size_t calm_hits = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (an.labels[i].is_miss) continue;
+    const bool in_wave =
+        (i % spec.burst_wave_interval) < spec.burst_wave_length;
+    (in_wave ? wave_hits : calm_hits) += 1;
+    if (an.labels[i].is_pzro) (in_wave ? wave_pzro : calm_pzro) += 1;
+  }
+  ASSERT_GT(wave_hits, 0u);
+  ASSERT_GT(calm_hits, 0u);
+  EXPECT_GT(static_cast<double>(wave_pzro) / static_cast<double>(wave_hits),
+            static_cast<double>(calm_pzro) /
+                static_cast<double>(calm_hits));
+}
+
+TEST(WorkloadStructure, ScaleParameterScalesLinearly) {
+  const Trace small = generate_trace(cdn_a_like(0.02));
+  const Trace big = generate_trace(cdn_a_like(0.04));
+  EXPECT_NEAR(static_cast<double>(big.size()) /
+                  static_cast<double>(small.size()),
+              2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace cdn
