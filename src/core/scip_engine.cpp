@@ -93,21 +93,29 @@ void ScipAdvisor::on_miss(const Request& req) {
   // event rate is an order of magnitude above the monitors' slice rate and
   // would drown the paired comparison that anchors the global weights.
   const double p_apply = std::min(1.0, 2.0 * lr_.lambda());
-  bool was_hit = false;
-  if (hm_.erase(req.id, nullptr, &was_hit)) {
-    if (!params_.per_object_override || !rng_.chance(p_apply)) return;
+  // An id can be resident in BOTH lists (each list only self-dedupes on
+  // add): evicted once as MRU-inserted, later as LRU-inserted. The paper's
+  // DELETE must clear every record of the object on a history hit —
+  // leaving the other list's record behind injects stale, contradictory
+  // override evidence on a later miss. H_m evidence (the more recent
+  // judgement of an MRU placement) takes precedence for the override.
+  bool hm_was_hit = false;
+  bool hl_was_hit = false;
+  const bool in_hm = hm_.erase(req.id, nullptr, &hm_was_hit);
+  const bool in_hl = hl_.erase(req.id, nullptr, &hl_was_hit);
+  if (!in_hm && !in_hl) return;
+  if (!params_.per_object_override || !rng_.chance(p_apply)) return;
+  if (in_hm) {
     // Hit token False (ASC-IP's ZRO signal): its MRU placement wasted a
     // full traversal without a single hit — a ZRO. Exile this insertion.
     // A victim that WAS hit and still evicted was flushed under pressure
     // (e.g. a scan): demonstrably reusable — keep it at MRU.
-    pending_override_ = was_hit ? +1 : -1;
-    pending_override_id_ = req.id;
-  } else if (hl_.erase(req.id, nullptr, &was_hit)) {
-    if (!params_.per_object_override || !rng_.chance(p_apply)) return;
+    pending_override_ = hm_was_hit ? +1 : -1;
+  } else {
     // Its LRU placement threw away a would-be hit.
     pending_override_ = +1;
-    pending_override_id_ = req.id;
   }
+  pending_override_id_ = req.id;
 }
 
 bool ScipAdvisor::choose_mru_for_miss(const Request& req) {
@@ -151,9 +159,16 @@ void ScipAdvisor::on_request(const Request& req, bool hit) {
     } else if (miss_slice == 1) {
       if (!mon_lip_.access(req)) ++psel_miss_;
     }
+    // The promotion duel slices with monitor_slice_shift, exactly like the
+    // miss duel, from the next (disjoint) block of hash bits. Masking with
+    // monitor_cap_shift here once fed each promotion monitor a 1/32 traffic
+    // slice into a 1/32-capacity cache, silently dropping the documented 2x
+    // relative capacity and biasing the P-ZRO demotion evidence.
     const std::uint64_t prom_slice =
         (h >> params_.monitor_slice_shift) &
-        ((1ULL << params_.monitor_cap_shift) - 1);
+        ((1ULL << params_.monitor_slice_shift) - 1);
+    if (miss_slice <= 1) ++miss_duel_feeds_;
+    if (prom_slice <= 1) ++prom_duel_feeds_;
     if (prom_slice == 0) {
       if (!mon_mru_prom_.access(req)) --psel_prom_;
     } else if (prom_slice == 1) {

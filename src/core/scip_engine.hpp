@@ -98,6 +98,15 @@ class ScipAdvisor : public InsertionAdvisor {
   [[nodiscard]] std::uint64_t override_count() const noexcept {
     return overrides_;
   }
+  /// Requests routed into the miss / promotion duel monitors (both arms).
+  /// Each duel must see a 2 * 2^-monitor_slice_shift traffic fraction; the
+  /// slicing regression test asserts this against an independent recount.
+  [[nodiscard]] std::uint64_t miss_duel_feeds() const noexcept {
+    return miss_duel_feeds_;
+  }
+  [[nodiscard]] std::uint64_t prom_duel_feeds() const noexcept {
+    return prom_duel_feeds_;
+  }
 
  private:
   /// A 1/2^shift-scale cache fed one hash slice, running one pure expert.
@@ -130,10 +139,13 @@ class ScipAdvisor : public InsertionAdvisor {
   // Miss duel: 1/64 slices into 1/32-capacity monitors (the DIP ratio).
   ShadowMonitor mon_mru_;
   ShadowMonitor mon_lip_;
-  // Promotion duel: exact-scale monitors (1/32 slices into 1/32 capacity).
-  // Oversized monitors distort byte-cache geometry (a loop that thrashes
-  // the real cache can fit a 2x-relative monitor), which flips this duel
-  // the wrong way; the miss duel is robust to it, the promotion duel not.
+  // Promotion duel: identical slicing (1/64 slices into 1/32 capacity,
+  // drawn from the next, disjoint block of hash bits) so both duels enjoy
+  // the same 2x relative-capacity de-noising and their evidence is
+  // statistically comparable. An earlier revision masked this slice with
+  // monitor_cap_shift (1/32 slices), silently biasing the P-ZRO demotion
+  // decision — the audit/differential harness exists to catch that class
+  // of accounting bug mechanically.
   ShadowMonitor mon_mru_prom_;
   ShadowMonitor mon_demote_;
   int psel_miss_ = 0;  ///< >0 favors MRU insertion
@@ -144,6 +156,8 @@ class ScipAdvisor : public InsertionAdvisor {
   int pending_override_ = 0;
   std::uint64_t pending_override_id_ = 0;
   std::uint64_t overrides_ = 0;
+  std::uint64_t miss_duel_feeds_ = 0;
+  std::uint64_t prom_duel_feeds_ = 0;
   std::uint64_t window_hits_ = 0;
   std::uint64_t window_requests_ = 0;
 };

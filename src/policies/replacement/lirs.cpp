@@ -121,6 +121,11 @@ bool LirsCache::access(const Request& req) {
     evict_from_queue();
   }
 
+  // Eviction can prune THIS id's non-resident ghost record from the stack
+  // (demote_coldest_lir -> prune_stack erases ghost meta_ entries), which
+  // invalidates the iterator obtained before the loop — re-resolve it. A
+  // pruned ghost simply means the reuse history is lost: fresh miss.
+  it = meta_.find(req.id);
   const bool was_ghost =
       it != meta_.end() && it->second.state == State::kHirNonResident;
   if (was_ghost && it->second.in_stack) {

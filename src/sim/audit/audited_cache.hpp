@@ -1,0 +1,78 @@
+// `AuditedCache` — a policy-agnostic `Cache` decorator that validates the
+// externally observable cache contract on every access:
+//   - `used_bytes() <= capacity()` always (capacity never exceeded);
+//   - a reported hit implies the object was resident before the access;
+//   - an object larger than the cache is never admitted (bypass contract);
+//   - a reported hit implies the object is still resident afterwards
+//     (promotion must re-insert, never drop).
+// Wrap any policy under test in the simulator to audit a whole trace replay;
+// violations throw `audit::InvariantViolation` at the offending request.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/audit/audited_queue.hpp"
+#include "sim/cache.hpp"
+
+namespace cdn::audit {
+
+class AuditedCache final : public Cache {
+ public:
+  explicit AuditedCache(CachePtr inner)
+      : Cache(inner ? inner->capacity() : 0), inner_(std::move(inner)) {
+    if (!inner_) {
+      throw std::invalid_argument("AuditedCache requires a cache to wrap");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "Audited(" + inner_->name() + ")";
+  }
+
+  bool access(const Request& req) override {
+    const bool was_resident = inner_->contains(req.id);
+    const bool hit = inner_->access(req);
+    ++accesses_;
+    if (hit && !was_resident) {
+      fail(req, "reported a hit on a non-resident object");
+    }
+    if (!fits(req.size) && inner_->contains(req.id)) {
+      fail(req, "admitted an object larger than the cache");
+    }
+    if (hit && !inner_->contains(req.id)) {
+      fail(req, "dropped an object while serving a hit on it");
+    }
+    if (inner_->used_bytes() > capacity()) {
+      fail(req, "used_bytes exceeds capacity");
+    }
+    return hit;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const override {
+    return inner_->contains(id);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return inner_->used_bytes();
+  }
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return inner_->metadata_bytes();
+  }
+
+  [[nodiscard]] std::uint64_t audited_accesses() const noexcept {
+    return accesses_;
+  }
+
+ private:
+  [[noreturn]] void fail(const Request& req, const char* what) const {
+    throw InvariantViolation("Cache audit failed for " + inner_->name() +
+                             " at request id " + std::to_string(req.id) +
+                             " (access #" + std::to_string(accesses_) +
+                             "): " + what);
+  }
+
+  CachePtr inner_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace cdn::audit

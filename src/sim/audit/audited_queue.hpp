@@ -1,0 +1,148 @@
+// Self-auditing wrappers: `AuditedQueue` and `AuditedGhostList` mirror the
+// public API of `LruQueue` / `GhostList` and run the full structural
+// invariant audit (see invariants.hpp) after every operation, throwing
+// `InvariantViolation` the moment a structure goes inconsistent — at the
+// offending operation, not thousands of requests later when a learned weight
+// looks wrong. Tests and the differential harness drive these wrappers; the
+// simulation hot paths use the raw structures.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/audit/invariants.hpp"
+#include "sim/ghost_list.hpp"
+#include "sim/lru_queue.hpp"
+
+namespace cdn::audit {
+
+/// Thrown by the Audited* wrappers when a post-operation audit fails. The
+/// message names the operation and lists every violated invariant.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+class AuditedQueue {
+ public:
+  /// `capacity_bytes` arms the capacity-never-exceeded check. LruQueue does
+  /// not evict by itself, so callers enforcing a byte bound (every cache and
+  /// shadow monitor does) pass theirs; kNoCapacity audits structure only.
+  explicit AuditedQueue(std::uint64_t capacity_bytes = kNoCapacity)
+      : capacity_(capacity_bytes) {}
+
+  LruQueue::Node& insert_mru(std::uint64_t id, std::uint64_t size) {
+    LruQueue::Node& n = q_.insert_mru(id, size);
+    verify("insert_mru");
+    return n;
+  }
+  LruQueue::Node& insert_lru(std::uint64_t id, std::uint64_t size) {
+    LruQueue::Node& n = q_.insert_lru(id, size);
+    verify("insert_lru");
+    return n;
+  }
+  void touch_mru(std::uint64_t id) {
+    q_.touch_mru(id);
+    verify("touch_mru");
+  }
+  void move_up_one(std::uint64_t id) {
+    q_.move_up_one(id);
+    verify("move_up_one");
+  }
+  void demote_lru(std::uint64_t id) {
+    q_.demote_lru(id);
+    verify("demote_lru");
+  }
+  LruQueue::Node pop_lru() {
+    LruQueue::Node n = q_.pop_lru();
+    verify("pop_lru");
+    return n;
+  }
+  bool erase(std::uint64_t id, LruQueue::Node* out = nullptr) {
+    const bool present = q_.erase(id, out);
+    verify("erase");
+    return present;
+  }
+  LruQueue::Node& sample(Rng& rng) {
+    LruQueue::Node& n = q_.sample(rng);
+    verify("sample");
+    return n;
+  }
+
+  // Read-only passthroughs (no audit needed; they cannot mutate).
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return q_.contains(id);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return q_.count(); }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return q_.used_bytes();
+  }
+  [[nodiscard]] std::uint64_t lru_id() const { return q_.lru_id(); }
+  [[nodiscard]] std::uint64_t mru_id() const { return q_.mru_id(); }
+
+  /// The wrapped queue, for read-only assertions and for_each traversal.
+  [[nodiscard]] const LruQueue& queue() const noexcept { return q_; }
+  /// Mutable access escapes the audit — exists so tests can inject
+  /// corruption (debug_corrupt_used_bytes) and prove the audit catches it.
+  [[nodiscard]] LruQueue& unaudited() noexcept { return q_; }
+
+  /// Runs the audit immediately (e.g. after unaudited() mutations).
+  void verify(const char* op = "explicit verify") const {
+    const AuditReport report = Inspector::check(q_, capacity_);
+    if (!report.ok()) {
+      throw InvariantViolation(std::string("LruQueue audit failed after ") +
+                               op + ": " + report.to_string());
+    }
+  }
+
+ private:
+  std::uint64_t capacity_;
+  LruQueue q_;
+};
+
+class AuditedGhostList {
+ public:
+  explicit AuditedGhostList(std::uint64_t capacity_bytes)
+      : g_(capacity_bytes) {}
+
+  void add(std::uint64_t id, std::uint64_t size, bool tag = false) {
+    g_.add(id, size, tag);
+    verify("add");
+  }
+  bool erase(std::uint64_t id, std::uint64_t* size_out = nullptr,
+             bool* tag_out = nullptr) {
+    const bool present = g_.erase(id, size_out, tag_out);
+    verify("erase");
+    return present;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return g_.contains(id);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return g_.count(); }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return g_.used_bytes();
+  }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return g_.capacity();
+  }
+
+  [[nodiscard]] const GhostList& ghost() const noexcept { return g_; }
+  [[nodiscard]] GhostList& unaudited() noexcept { return g_; }
+
+  void verify(const char* op = "explicit verify") const {
+    const AuditReport report = Inspector::check(g_);
+    if (!report.ok()) {
+      throw InvariantViolation(std::string("GhostList audit failed after ") +
+                               op + ": " + report.to_string());
+    }
+  }
+
+ private:
+  GhostList g_;
+};
+
+}  // namespace cdn::audit

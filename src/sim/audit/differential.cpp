@@ -1,0 +1,195 @@
+#include "sim/audit/differential.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "sim/audit/audited_queue.hpp"
+#include "sim/audit/invariants.hpp"
+#include "sim/audit/reference_model.hpp"
+#include "util/rng.hpp"
+
+namespace cdn::audit {
+
+namespace {
+
+template <typename... Parts>
+DiffResult diverged(std::size_t op_index, const Parts&... parts) {
+  std::ostringstream os;
+  os << "divergence at op " << op_index << ": ";
+  (os << ... << parts);
+  return DiffResult{false, op_index, os.str()};
+}
+
+/// Collects the real queue's ids LRU->MRU via the public traversal.
+std::vector<std::uint64_t> queue_ids_lru_to_mru(const LruQueue& q) {
+  std::vector<std::uint64_t> out;
+  out.reserve(q.count());
+  q.for_each_from_lru([&](const LruQueue::Node& n) {
+    out.push_back(n.id);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
+DiffResult run_queue_differential(const DiffConfig& cfg) {
+  const std::uint64_t cap =
+      cfg.capacity_bytes == 0 ? kNoCapacity : cfg.capacity_bytes;
+  AuditedQueue q(cap);
+  RefLruModel ref;
+  Rng rng(cfg.seed);
+
+  for (std::size_t op = 0; op < cfg.num_ops; ++op) {
+    const std::uint64_t id = rng.below(cfg.id_space);
+    const std::uint64_t size = 1 + rng.below(cfg.max_size);
+    try {
+      switch (rng.below(8)) {
+        case 0:  // capacity-bounded admission at MRU (pop-to-fit, the way
+                 // every cache and shadow monitor drives the queue)
+        case 1: {
+          if (q.contains(id)) break;
+          if (cap != kNoCapacity && size > cap) break;
+          while (cap != kNoCapacity && q.used_bytes() + size > cap &&
+                 !q.empty()) {
+            const std::uint64_t victim = q.pop_lru().id;
+            const RefLruModel::Entry ref_victim = ref.pop_lru();
+            if (victim != ref_victim.id) {
+              return diverged(op, "eviction order: queue evicted ", victim,
+                              ", reference evicted ", ref_victim.id);
+            }
+          }
+          q.insert_mru(id, size);
+          ref.insert_mru(id, size);
+          break;
+        }
+        case 2: {  // insert at LRU (LIP arm)
+          if (q.contains(id)) break;
+          if (cap != kNoCapacity && q.used_bytes() + size > cap) break;
+          q.insert_lru(id, size);
+          ref.insert_lru(id, size);
+          break;
+        }
+        case 3:
+          q.touch_mru(id);
+          ref.touch_mru(id);
+          break;
+        case 4:
+          q.move_up_one(id);
+          ref.move_up_one(id);
+          break;
+        case 5:
+          q.demote_lru(id);
+          ref.demote_lru(id);
+          break;
+        case 6: {
+          const bool a = q.erase(id);
+          const bool b = ref.erase(id);
+          if (a != b) {
+            return diverged(op, "erase(", id, ") returned ", a,
+                            " but reference returned ", b);
+          }
+          break;
+        }
+        case 7: {  // sampling must return a resident object
+          if (q.empty()) break;
+          const std::uint64_t sampled = q.sample(rng).id;
+          if (!ref.contains(sampled)) {
+            return diverged(op, "sampled id ", sampled,
+                            " is not resident in the reference");
+          }
+          break;
+        }
+      }
+    } catch (const InvariantViolation& e) {
+      return DiffResult{false, op, e.what()};
+    }
+
+    if (q.count() != ref.count()) {
+      return diverged(op, "count: queue ", q.count(), ", reference ",
+                      ref.count());
+    }
+    if (q.used_bytes() != ref.used_bytes()) {
+      return diverged(op, "used_bytes: queue ", q.used_bytes(),
+                      ", reference ", ref.used_bytes());
+    }
+    if (!ref.empty()) {
+      if (q.mru_id() != ref.mru_id()) {
+        return diverged(op, "mru_id: queue ", q.mru_id(), ", reference ",
+                        ref.mru_id());
+      }
+      if (q.lru_id() != ref.lru_id()) {
+        return diverged(op, "lru_id: queue ", q.lru_id(), ", reference ",
+                        ref.lru_id());
+      }
+    }
+    if (cfg.full_compare_interval != 0 &&
+        op % cfg.full_compare_interval == 0 &&
+        queue_ids_lru_to_mru(q.queue()) != ref.ids_lru_to_mru()) {
+      return diverged(op, "full LRU->MRU order differs from reference");
+    }
+  }
+
+  return DiffResult{true, cfg.num_ops, {}};
+}
+
+DiffResult run_ghost_differential(const DiffConfig& cfg) {
+  AuditedGhostList g(cfg.capacity_bytes);
+  RefGhostModel ref(cfg.capacity_bytes);
+  Rng rng(cfg.seed);
+
+  for (std::size_t op = 0; op < cfg.num_ops; ++op) {
+    const std::uint64_t id = rng.below(cfg.id_space);
+    try {
+      switch (rng.below(4)) {
+        case 0:
+        case 1: {
+          // Occasionally oversized, exercising the reject-don't-thrash path.
+          const std::uint64_t size = rng.chance(0.05)
+                                         ? cfg.capacity_bytes + 1
+                                         : 1 + rng.below(cfg.max_size);
+          const bool tag = rng.chance(0.5);
+          g.add(id, size, tag);
+          ref.add(id, size, tag);
+          break;
+        }
+        case 2: {
+          std::uint64_t size_a = 0, size_b = 0;
+          bool tag_a = false, tag_b = false;
+          const bool a = g.erase(id, &size_a, &tag_a);
+          const bool b = ref.erase(id, &size_b, &tag_b);
+          if (a != b || (a && (size_a != size_b || tag_a != tag_b))) {
+            return diverged(op, "erase(", id, ") disagrees with reference");
+          }
+          break;
+        }
+        case 3:
+          if (g.contains(id) != ref.contains(id)) {
+            return diverged(op, "contains(", id,
+                            ") disagrees with reference");
+          }
+          break;
+      }
+    } catch (const InvariantViolation& e) {
+      return DiffResult{false, op, e.what()};
+    }
+
+    if (g.count() != ref.count()) {
+      return diverged(op, "count: ghost ", g.count(), ", reference ",
+                      ref.count());
+    }
+    if (g.used_bytes() != ref.used_bytes()) {
+      return diverged(op, "used_bytes: ghost ", g.used_bytes(),
+                      ", reference ", ref.used_bytes());
+    }
+    if (cfg.full_compare_interval != 0 &&
+        op % cfg.full_compare_interval == 0 &&
+        Inspector::ghost_ids(g.ghost()) != ref.ids_newest_to_oldest()) {
+      return diverged(op, "FIFO order differs from reference");
+    }
+  }
+
+  return DiffResult{true, cfg.num_ops, {}};
+}
+
+}  // namespace cdn::audit

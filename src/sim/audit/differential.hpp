@@ -1,0 +1,50 @@
+// Differential test harness: drives the optimized queue structures and the
+// std::list reference models (reference_model.hpp) in lockstep under a
+// deterministic randomized operation sequence, asserting identical
+// observable state after every step. The real structure additionally runs
+// inside its Audited* wrapper, so every step is also a full structural
+// invariant audit. One call therefore checks both "is the structure
+// internally consistent" and "does it compute the same answer as an
+// obviously-correct model" — eviction order, byte accounting, membership.
+//
+// Determinism: the op sequence derives entirely from `seed`, so a failing
+// (seed, num_ops) pair is a permanent, shareable reproducer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdn::audit {
+
+struct DiffConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_ops = 20'000;
+  /// Object ids are drawn from [0, id_space) — small enough to force heavy
+  /// collision/reuse, which is where accounting bugs live.
+  std::uint64_t id_space = 96;
+  /// Object sizes are drawn from [1, max_size].
+  std::uint64_t max_size = 64;
+  /// Byte bound enforced LruQueue-style (caller pops to fit) and passed to
+  /// the capacity audit; also the GhostList capacity. 0 = unbounded queue.
+  std::uint64_t capacity_bytes = 1024;
+  /// Full order comparison (O(n)) every this many ops; cheap state
+  /// (count/bytes/ends) is compared every op.
+  std::size_t full_compare_interval = 64;
+};
+
+struct DiffResult {
+  bool ok = true;
+  std::size_t ops_executed = 0;
+  std::string failure;  ///< empty when ok; includes the failing op index
+};
+
+/// LruQueue vs RefLruModel over insert_mru / insert_lru / touch_mru /
+/// move_up_one / demote_lru / erase / pop_lru / sample / capacity-bounded
+/// admission (pop-to-fit, as every cache and shadow monitor drives it).
+[[nodiscard]] DiffResult run_queue_differential(const DiffConfig& cfg = {});
+
+/// GhostList vs RefGhostModel over add (including refresh-on-re-add and
+/// records larger than capacity) / erase / contains, comparing FIFO order.
+[[nodiscard]] DiffResult run_ghost_differential(const DiffConfig& cfg = {});
+
+}  // namespace cdn::audit

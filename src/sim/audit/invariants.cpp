@@ -1,0 +1,204 @@
+#include "sim/audit/invariants.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/ghost_list.hpp"
+#include "sim/lru_queue.hpp"
+
+namespace cdn::audit {
+
+namespace {
+
+// Collects violations with printf-free stream formatting.
+class Collector {
+ public:
+  explicit Collector(AuditReport& report) : report_(report) {}
+
+  template <typename... Parts>
+  void fail(const Parts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    report_.violations.push_back(os.str());
+  }
+
+ private:
+  AuditReport& report_;
+};
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << violations.size() << " invariant violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+AuditReport Inspector::check(const LruQueue& q, std::uint64_t capacity_bytes) {
+  AuditReport report;
+  Collector c(report);
+  const auto& slab = q.slab_;
+  const std::uint32_t kNull = LruQueue::kNull;
+
+  // Walk head -> tail via next_, verifying prev_ mirrors the path. Bound the
+  // walk by the slab size so a corrupted cycle terminates with a violation
+  // instead of hanging the audit.
+  std::vector<std::uint32_t> order;
+  std::unordered_set<std::uint32_t> on_list;
+  std::uint32_t prev = kNull;
+  std::uint32_t idx = q.head_;
+  bool cycle = false;
+  while (idx != kNull) {
+    if (idx >= slab.size()) {
+      c.fail("list link out of slab range: ", idx, " >= ", slab.size());
+      return report;  // cannot traverse further safely
+    }
+    if (!on_list.insert(idx).second) {
+      c.fail("cycle in linked list at slab slot ", idx);
+      cycle = true;
+      break;
+    }
+    if (slab[idx].prev_ != prev) {
+      c.fail("prev link of slot ", idx, " is ", slab[idx].prev_,
+             ", expected ", prev);
+    }
+    order.push_back(idx);
+    prev = idx;
+    idx = slab[idx].next_;
+  }
+  if (!cycle) {
+    if (q.tail_ != prev) {
+      c.fail("tail_ is ", q.tail_, ", expected last walked slot ", prev);
+    }
+    if (q.head_ != kNull && slab[q.head_].prev_ != kNull) {
+      c.fail("head node has non-null prev link");
+    }
+    if (q.tail_ != kNull && q.tail_ < slab.size() &&
+        slab[q.tail_].next_ != kNull) {
+      c.fail("tail node has non-null next link");
+    }
+  }
+
+  // Population counts must agree across all three views of residency.
+  if (order.size() != q.index_.size()) {
+    c.fail("list holds ", order.size(), " nodes but index_ holds ",
+           q.index_.size());
+  }
+  if (order.size() != q.dense_.size()) {
+    c.fail("list holds ", order.size(), " nodes but dense_ holds ",
+           q.dense_.size());
+  }
+
+  // Per-node: byte accounting, index mapping, dense back-pointers, id
+  // uniqueness.
+  std::uint64_t sum_bytes = 0;
+  std::unordered_set<std::uint64_t> ids;
+  for (const std::uint32_t i : order) {
+    const auto& n = slab[i];
+    sum_bytes += n.size;
+    if (!ids.insert(n.id).second) {
+      c.fail("duplicate resident id ", n.id);
+    }
+    auto it = q.index_.find(n.id);
+    if (it == q.index_.end()) {
+      c.fail("resident id ", n.id, " missing from index_");
+    } else if (it->second != i) {
+      c.fail("index_[", n.id, "] = ", it->second, ", expected slot ", i);
+    }
+    if (n.dense_pos_ >= q.dense_.size()) {
+      c.fail("slot ", i, " dense_pos_ ", n.dense_pos_, " out of range");
+    } else if (q.dense_[n.dense_pos_] != i) {
+      c.fail("dense_[", n.dense_pos_, "] = ", q.dense_[n.dense_pos_],
+             ", expected slot ", i, " (sampling would return a wrong node)");
+    }
+  }
+  if (sum_bytes != q.used_bytes_) {
+    c.fail("used_bytes_ is ", q.used_bytes_, " but resident sizes sum to ",
+           sum_bytes);
+  }
+  if (capacity_bytes != kNoCapacity && q.used_bytes_ > capacity_bytes) {
+    c.fail("used_bytes_ ", q.used_bytes_, " exceeds capacity bound ",
+           capacity_bytes);
+  }
+
+  // Dense entries must be unique, in range, and exactly the listed slots.
+  std::unordered_set<std::uint32_t> dense_set;
+  for (const std::uint32_t d : q.dense_) {
+    if (d >= slab.size()) {
+      c.fail("dense_ entry ", d, " out of slab range");
+      continue;
+    }
+    if (!dense_set.insert(d).second) c.fail("duplicate dense_ entry ", d);
+    if (!on_list.count(d)) {
+      c.fail("dense_ entry ", d, " is not on the linked list");
+    }
+  }
+
+  // Slab slots partition into resident ∪ free list.
+  std::unordered_set<std::uint32_t> free_set;
+  for (const std::uint32_t f : q.free_list_) {
+    if (f >= slab.size()) {
+      c.fail("free_list_ entry ", f, " out of slab range");
+      continue;
+    }
+    if (!free_set.insert(f).second) c.fail("duplicate free_list_ entry ", f);
+    if (on_list.count(f)) {
+      c.fail("slot ", f, " is both free-listed and on the linked list");
+    }
+  }
+  if (order.size() + q.free_list_.size() != slab.size()) {
+    c.fail("slab has ", slab.size(), " slots but resident (", order.size(),
+           ") + free (", q.free_list_.size(), ") = ",
+           order.size() + q.free_list_.size());
+  }
+
+  return report;
+}
+
+AuditReport Inspector::check(const GhostList& g) {
+  AuditReport report;
+  Collector c(report);
+
+  std::uint64_t sum_bytes = 0;
+  std::unordered_set<std::uint64_t> ids;
+  for (auto it = g.fifo_.begin(); it != g.fifo_.end(); ++it) {
+    sum_bytes += it->size;
+    if (!ids.insert(it->id).second) c.fail("duplicate record id ", it->id);
+    if (it->size > g.capacity_) {
+      c.fail("record ", it->id, " of size ", it->size,
+             " individually exceeds capacity ", g.capacity_);
+    }
+    auto idx_it = g.index_.find(it->id);
+    if (idx_it == g.index_.end()) {
+      c.fail("record ", it->id, " missing from index");
+    } else if (idx_it->second != it) {
+      c.fail("index iterator for id ", it->id,
+             " does not point at its FIFO record");
+    }
+  }
+  if (ids.size() != g.index_.size()) {
+    c.fail("FIFO holds ", ids.size(), " records but index holds ",
+           g.index_.size());
+  }
+  if (sum_bytes != g.used_bytes_) {
+    c.fail("used_bytes_ is ", g.used_bytes_, " but record sizes sum to ",
+           sum_bytes);
+  }
+  if (g.used_bytes_ > g.capacity_) {
+    c.fail("used_bytes_ ", g.used_bytes_, " exceeds capacity ", g.capacity_);
+  }
+
+  return report;
+}
+
+std::vector<std::uint64_t> Inspector::ghost_ids(const GhostList& g) {
+  std::vector<std::uint64_t> out;
+  out.reserve(g.index_.size());
+  for (const auto& rec : g.fifo_) out.push_back(rec.id);
+  return out;
+}
+
+}  // namespace cdn::audit

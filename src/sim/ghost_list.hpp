@@ -17,6 +17,10 @@
 
 namespace cdn {
 
+namespace audit {
+class Inspector;
+}  // namespace audit
+
 class GhostList {
  public:
   /// `capacity_bytes` bounds the sum of recorded object sizes.
@@ -52,7 +56,15 @@ class GhostList {
 
   static constexpr std::uint64_t kPerEntryBytes = 48;
 
+  /// Test-only fault injection for the audit harness (see LruQueue).
+  void debug_corrupt_used_bytes(std::int64_t delta) noexcept {
+    used_bytes_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(used_bytes_) + delta);
+  }
+
  private:
+  friend class audit::Inspector;
+
   struct Rec {
     std::uint64_t id;
     std::uint64_t size;

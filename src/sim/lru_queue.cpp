@@ -181,8 +181,11 @@ void LruQueue::for_each_from_lru(
 
 std::uint64_t LruQueue::metadata_bytes() const noexcept {
   // Slab node + dense slot + hash bucket (node ptr + key/value) estimate.
+  // Count live entries only: free-listed slab slots hold no object metadata,
+  // and counting them overstated the footprint after churn (the slab is a
+  // high-water mark, the index is the live population).
   constexpr std::uint64_t kPerEntry = sizeof(Node) + 4 + 48;
-  return static_cast<std::uint64_t>(slab_.size()) * kPerEntry;
+  return static_cast<std::uint64_t>(index_.size()) * kPerEntry;
 }
 
 }  // namespace cdn

@@ -25,6 +25,10 @@
 
 namespace cdn {
 
+namespace audit {
+class Inspector;
+}  // namespace audit
+
 class LruQueue {
  public:
   static constexpr std::uint32_t kNull = 0xffffffffu;
@@ -43,6 +47,7 @@ class LruQueue {
     std::uint32_t next_ = kNull;
     std::uint32_t dense_pos_ = kNull;
     friend class LruQueue;
+    friend class audit::Inspector;
   };
 
   LruQueue() = default;
@@ -88,10 +93,20 @@ class LruQueue {
   void for_each_from_lru(const std::function<bool(const Node&)>& fn) const;
 
   /// Approximate in-memory metadata footprint (bytes) for the resource
-  /// experiments: slab nodes + hash index overhead.
+  /// experiments: slab nodes + hash index overhead, counted per live entry.
   [[nodiscard]] std::uint64_t metadata_bytes() const noexcept;
 
+  /// Test-only fault injection: skews the byte accounting without touching
+  /// the list, so the audit harness can prove it detects such corruption.
+  /// Never call outside tests.
+  void debug_corrupt_used_bytes(std::int64_t delta) noexcept {
+    used_bytes_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(used_bytes_) + delta);
+  }
+
  private:
+  friend class audit::Inspector;
+
   std::uint32_t alloc_node();
   void free_node(std::uint32_t idx);
   void link_mru(std::uint32_t idx);

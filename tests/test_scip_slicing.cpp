@@ -1,0 +1,139 @@
+// Regression tests for the SCIP advisor's evidence accounting:
+//  - the shadow-monitor traffic slicing (both duels must sample
+//    2^-monitor_slice_shift fractions per arm — the promotion duel once
+//    masked with monitor_cap_shift, feeding 1/32 slices into 1/32-capacity
+//    monitors and silently dropping the 2x relative-capacity de-noising);
+//  - the history-list DELETE on a history hit (an id resident in BOTH H_m
+//    and H_l must be cleared from both, or the stale record later injects
+//    contradictory per-object override evidence).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scip_engine.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+namespace {
+
+Request req(std::int64_t t, std::uint64_t id, std::uint64_t size = 10) {
+  return Request{t, id, size, -1};
+}
+
+ScipParams quiet_params() {
+  ScipParams p;
+  p.use_monitors = false;  // isolate the history-list mechanics
+  p.seed = 3;
+  return p;
+}
+
+TEST(ScipSlicing, BothDuelsSampleSliceShiftFractions) {
+  ScipParams p;  // defaults: slice_shift 6, cap_shift 5
+  ASSERT_NE(p.monitor_slice_shift, p.monitor_cap_shift)
+      << "test requires distinct shifts to distinguish the masks";
+  // Large enough that capacity >> cap_shift clears monitor_min_bytes.
+  const std::uint64_t capacity = 256ULL << 20;
+  ScipAdvisor adv(capacity, p);
+
+  // Crafted id-set: an arithmetic id stream whose hash64 slice values we
+  // recount independently. Every request is a miss from the advisor's
+  // perspective (feed only; no main-cache interaction needed).
+  const int n = 1 << 16;
+  const std::uint64_t mask = (1ULL << p.monitor_slice_shift) - 1;
+  std::uint64_t expect_miss_feeds = 0;
+  std::uint64_t expect_prom_feeds = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t id = 0x5eed + 7919ULL * static_cast<std::uint64_t>(i);
+    const std::uint64_t h = hash64(id);
+    if ((h & mask) <= 1) ++expect_miss_feeds;
+    if (((h >> p.monitor_slice_shift) & mask) <= 1) ++expect_prom_feeds;
+    adv.on_request(req(i, id, 64), /*hit=*/false);
+  }
+
+  // Exact agreement with the independent recount (masking with
+  // monitor_cap_shift would double the promotion-duel feed count).
+  EXPECT_EQ(adv.miss_duel_feeds(), expect_miss_feeds);
+  EXPECT_EQ(adv.prom_duel_feeds(), expect_prom_feeds);
+
+  // And both fractions are ~2 * 2^-monitor_slice_shift (two arms per duel),
+  // well inside statistical noise for 64Ki hashed draws.
+  const double want = 2.0 * std::pow(2.0, -p.monitor_slice_shift);
+  const double frac_miss = static_cast<double>(adv.miss_duel_feeds()) / n;
+  const double frac_prom = static_cast<double>(adv.prom_duel_feeds()) / n;
+  EXPECT_NEAR(frac_miss, want, 0.2 * want);
+  EXPECT_NEAR(frac_prom, want, 0.2 * want);
+}
+
+TEST(ScipSlicing, DuelSlicesAreDisjointAcrossDuels) {
+  // The promotion slice reads the NEXT block of hash bits, so an id that
+  // feeds the miss duel is statistically independent of feeding the
+  // promotion duel: over many ids, the overlap must be ~product of the
+  // fractions, not ~identical sets. With the cap_shift bug the two slices
+  // read overlapping bit ranges of the same hash.
+  ScipParams p;
+  const std::uint64_t mask = (1ULL << p.monitor_slice_shift) - 1;
+  std::uint64_t both = 0, miss_only = 0;
+  const int n = 1 << 18;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t h = hash64(static_cast<std::uint64_t>(i));
+    const bool miss_feed = (h & mask) <= 1;
+    const bool prom_feed = ((h >> p.monitor_slice_shift) & mask) <= 1;
+    if (miss_feed && prom_feed) ++both;
+    if (miss_feed && !prom_feed) ++miss_only;
+  }
+  // P(both) = (2/64)^2 ~ 1/1024: of 256Ki ids, ~256 in both, ~7900
+  // miss-only. Identical bit ranges would give both == miss_feed count.
+  EXPECT_GT(miss_only, both * 10);
+}
+
+TEST(ScipHistory, HistoryHitDeletesFromBothLists) {
+  // Evicted once as an MRU insertion, later as an LRU insertion: the id is
+  // resident in both H_m and H_l. The paper's DELETE on a history hit must
+  // clear both records.
+  ScipParams p = quiet_params();
+  p.lr.initial = 0.0;  // override may never fire; the DELETE must anyway
+  ScipAdvisor adv(1000, p);
+  adv.on_evict(1, 10, /*was_mru_inserted=*/true, /*had_hits=*/false);
+  adv.on_evict(1, 10, /*was_mru_inserted=*/false, /*had_hits=*/false);
+  ASSERT_EQ(adv.hm_count(), 1u);
+  ASSERT_EQ(adv.hl_count(), 1u);
+  adv.on_miss(req(0, 1));
+  EXPECT_EQ(adv.hm_count(), 0u);
+  EXPECT_EQ(adv.hl_count(), 0u);
+}
+
+TEST(ScipHistory, StaleRecordCannotInjectLaterEvidence) {
+  // The failure mode of the old `else if`: a hit in H_m leaves the H_l
+  // record alive, and a LATER miss on the same id reads that stale record
+  // as fresh "force MRU" evidence. After the fix the second miss finds
+  // nothing and applies the ambient policy (no override consumed).
+  ScipParams p = quiet_params();
+  p.lr.initial = 1.0;  // overrides always fire when evidence exists
+  ScipAdvisor adv(1000, p);
+  adv.on_evict(1, 10, /*was_mru_inserted=*/false, /*had_hits=*/false);
+  adv.on_evict(1, 10, /*was_mru_inserted=*/true, /*had_hits=*/false);
+  adv.on_miss(req(0, 1));
+  EXPECT_FALSE(adv.choose_mru_for_miss(req(0, 1)));  // ZRO: exiled to LRU
+  EXPECT_EQ(adv.override_count(), 1u);
+  // Second miss on the same id: both lists are clean, no stale override.
+  adv.on_miss(req(1, 1));
+  (void)adv.choose_mru_for_miss(req(1, 1));
+  EXPECT_EQ(adv.override_count(), 1u);
+}
+
+TEST(ScipHistory, HmEvidenceTakesPrecedenceOnDualMembership) {
+  // When both lists hold the id, the H_m judgement (of the MRU placement)
+  // drives the override: a never-hit H_m record means ZRO -> force LRU,
+  // even though the H_l record alone would force MRU.
+  ScipParams p = quiet_params();
+  p.lr.initial = 1.0;
+  ScipAdvisor adv(1000, p);
+  adv.on_evict(1, 10, /*was_mru_inserted=*/true, /*had_hits=*/false);
+  adv.on_evict(1, 10, /*was_mru_inserted=*/false, /*had_hits=*/false);
+  adv.on_miss(req(0, 1));
+  EXPECT_FALSE(adv.choose_mru_for_miss(req(0, 1)));
+  EXPECT_EQ(adv.override_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cdn

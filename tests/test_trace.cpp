@@ -64,7 +64,9 @@ TEST(Generator, SizeIsStablePerObject) {
   std::unordered_map<std::uint64_t, std::uint64_t> sizes;
   for (const auto& r : t.requests) {
     auto [it, fresh] = sizes.emplace(r.id, r.size);
-    if (!fresh) EXPECT_EQ(it->second, r.size);
+    if (!fresh) {
+      EXPECT_EQ(it->second, r.size);
+    }
   }
 }
 
