@@ -10,9 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/bench_report.hpp"
+#include "sim/simulator.hpp"
 #include "trace/generator.hpp"
 #include "trace/oracle.hpp"
 #include "trace/stats.hpp"
@@ -60,5 +63,41 @@ inline void print_block(const std::string& title, const Table& table) {
   std::printf("\n== %s ==\n%s", title.c_str(), table.str().c_str());
   std::fflush(stdout);
 }
+
+/// Machine-readable perf-trajectory hook: every bench binary owns one
+/// BenchJson, feeds it each SimResult it measures, and gets a
+/// BENCH_<name>.json (schema "cdn-bench-report", validated by test_obs)
+/// written at scope exit. The destination directory comes from
+/// $CDN_BENCH_JSON_DIR (default: the working directory); setting it to the
+/// repo root keeps the BENCH_*.json trajectory files where the ROADMAP
+/// expects them.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : report_(std::move(bench_name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add(const SimResult& r) { report_.add_row(sim_result_row(r)); }
+  void add_all(const std::vector<SimResult>& rs) {
+    for (const auto& r : rs) add(r);
+  }
+
+  ~BenchJson() {
+    if (report_.rows() == 0) return;
+    const char* dir = std::getenv("CDN_BENCH_JSON_DIR");
+    if (!report_.write(dir ? dir : ".")) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   report_.file_name().c_str());
+    } else {
+      std::printf("wrote %s (%zu rows)\n", report_.file_name().c_str(),
+                  report_.rows());
+    }
+  }
+
+ private:
+  obs::BenchReport report_;
+};
 
 }  // namespace cdn::bench

@@ -13,6 +13,7 @@ namespace cdn::bench {
 namespace {
 
 void BM_Fig10(benchmark::State& state) {
+  BenchJson bench_json("fig10_replacement");
   for (auto _ : state) {
     std::vector<std::string> policies{"Belady"};
     for (const auto& n : replacement_policy_names()) policies.push_back(n);
@@ -28,6 +29,7 @@ void BM_Fig10(benchmark::State& state) {
       }
     }
     const auto res = run_sweep(jobs);
+    bench_json.add_all(res);
     for (std::size_t p = 0; p < policies.size(); ++p) {
       const auto& rt = res[p * 3 + 0];
       const auto& rw = res[p * 3 + 1];

@@ -14,6 +14,7 @@ namespace cdn::bench {
 namespace {
 
 void BM_Fig7(benchmark::State& state) {
+  BenchJson bench_json("fig7_scip_vs_sci");
   for (auto _ : state) {
     Table table({"trace", "LRU", "SCI", "SCIP", "SCIP-SCI gap"});
     for (const Trace& t : traces()) {
@@ -24,6 +25,7 @@ void BM_Fig7(benchmark::State& state) {
             [name, cap] { return make_cache(name, cap); }, &t, SimOptions{}});
       }
       const auto res = run_sweep(jobs);
+      bench_json.add_all(res);
       table.add_row({t.name, Table::pct(res[0].object_miss_ratio()),
                      Table::pct(res[1].object_miss_ratio()),
                      Table::pct(res[2].object_miss_ratio()),

@@ -17,6 +17,7 @@ namespace cdn::bench {
 namespace {
 
 void BM_Fig9(benchmark::State& state) {
+  BenchJson bench_json("fig9_resources_insertion");
   for (auto _ : state) {
     const Trace& t = trace_t();
     const std::uint64_t cap = cap_frac(t, kFig8SmallFrac);
@@ -29,6 +30,7 @@ void BM_Fig9(benchmark::State& state) {
     for (const auto& name : policies) {
       auto cache = make_cache(name, cap);
       const auto res = simulate(*cache, t);
+      bench_json.add(res);
       const double mreq = static_cast<double>(res.requests) / 1e6;
       table.add_row(
           {name, Table::pct(res.object_miss_ratio()),

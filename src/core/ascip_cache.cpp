@@ -40,4 +40,10 @@ std::uint64_t AscIpAdvisor::metadata_bytes() const {
   return hl_.metadata_bytes() + 32;
 }
 
+void AscIpAdvisor::sample_metrics(obs::MetricRegistry& reg) {
+  reg.series("ascip.threshold").push(threshold_);
+  reg.series("ascip.hl_objects").push(static_cast<double>(hl_.count()));
+  reg.series("ascip.hl_bytes").push(static_cast<double>(hl_.used_bytes()));
+}
+
 }  // namespace cdn

@@ -16,6 +16,7 @@
 // source is not public), bounded to [1 KiB, 1 GiB].
 #pragma once
 
+#include "obs/introspect.hpp"
 #include "sim/advisor.hpp"
 #include "sim/ghost_list.hpp"
 
@@ -30,7 +31,8 @@ struct AscIpParams {
   double history_fraction = 0.5;
 };
 
-class AscIpAdvisor final : public InsertionAdvisor {
+class AscIpAdvisor final : public InsertionAdvisor,
+                           public obs::Introspectable {
  public:
   AscIpAdvisor(std::uint64_t cache_capacity, AscIpParams params = {});
 
@@ -46,6 +48,9 @@ class AscIpAdvisor final : public InsertionAdvisor {
   [[nodiscard]] const char* tag() const override { return "ASC-IP"; }
 
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+  /// Exports the adaptive size threshold and history occupancy per window.
+  void sample_metrics(obs::MetricRegistry& reg) override;
 
  private:
   AscIpParams params_;

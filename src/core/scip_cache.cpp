@@ -56,4 +56,12 @@ std::uint64_t AdvisedLruCache::metadata_bytes() const {
   return q_.metadata_bytes() + advisor_->metadata_bytes();
 }
 
+void AdvisedLruCache::sample_metrics(obs::MetricRegistry& reg) {
+  reg.series("cache.objects").push(static_cast<double>(q_.count()));
+  reg.series("cache.used_bytes").push(static_cast<double>(q_.used_bytes()));
+  if (auto* in = dynamic_cast<obs::Introspectable*>(advisor_.get())) {
+    in->sample_metrics(reg);
+  }
+}
+
 }  // namespace cdn

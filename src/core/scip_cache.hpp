@@ -13,12 +13,13 @@
 
 #include <memory>
 
+#include "obs/introspect.hpp"
 #include "sim/advisor.hpp"
 #include "sim/queue_cache.hpp"
 
 namespace cdn {
 
-class AdvisedLruCache final : public QueueCache {
+class AdvisedLruCache final : public QueueCache, public obs::Introspectable {
  public:
   AdvisedLruCache(std::uint64_t capacity_bytes,
                   std::shared_ptr<InsertionAdvisor> advisor);
@@ -26,6 +27,10 @@ class AdvisedLruCache final : public QueueCache {
   [[nodiscard]] std::string name() const override;
   bool access(const Request& req) override;
   [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Exports queue occupancy ("cache.objects"/"cache.used_bytes") and
+  /// forwards to the advisor when it is itself Introspectable.
+  void sample_metrics(obs::MetricRegistry& reg) override;
 
   [[nodiscard]] InsertionAdvisor& advisor() { return *advisor_; }
 

@@ -119,13 +119,16 @@ void ScipAdvisor::on_miss(const Request& req) {
 }
 
 bool ScipAdvisor::choose_mru_for_miss(const Request& req) {
+  bool mru;
   if (pending_override_ != 0 && pending_override_id_ == req.id) {
-    const bool mru = pending_override_ > 0;
+    mru = pending_override_ > 0;
     pending_override_ = 0;
     ++overrides_;
-    return mru;
+  } else {
+    mru = w_miss_ > rng_.uniform();
   }
-  return w_miss_ > rng_.uniform();
+  ++(mru ? miss_mru_inserts_ : miss_lru_inserts_);
+  return mru;
 }
 
 bool ScipAdvisor::choose_mru_for_hit(const Request& /*req*/,
@@ -135,7 +138,10 @@ bool ScipAdvisor::choose_mru_for_hit(const Request& /*req*/,
   // treatment of a suspected P-ZRO. The suspicion only applies to the
   // P-ZRO risk class (first residency hit); proven-live objects promote.
   if (residency_hits > 1) return true;
-  return w_prom_ > rng_.uniform();
+  ++prom_decisions_;
+  const bool mru = w_prom_ > rng_.uniform();
+  if (!mru) ++prom_demotions_;
+  return mru;
 }
 
 void ScipAdvisor::on_evict(std::uint64_t id, std::uint64_t size,
@@ -191,6 +197,39 @@ void ScipAdvisor::on_request(const Request& req, bool hit) {
     window_hits_ = 0;
     window_requests_ = 0;
   }
+}
+
+void ScipAdvisor::sample_metrics(obs::MetricRegistry& reg) {
+  // The two-expert execution probabilities; each pair is a distribution
+  // over {MRU, LRU} and sums to exactly 1 by construction — the unit test
+  // pins that invariant per window.
+  reg.series("scip.p_mru_insert").push(w_miss_);
+  reg.series("scip.p_lru_insert").push(1.0 - w_miss_);
+  reg.series("scip.p_mru_promote").push(w_prom_);
+  reg.series("scip.p_lru_promote").push(1.0 - w_prom_);
+  reg.series("scip.lambda").push(lr_.lambda());
+  reg.series("scip.hm_objects").push(static_cast<double>(hm_.count()));
+  reg.series("scip.hl_objects").push(static_cast<double>(hl_.count()));
+  reg.series("scip.hm_bytes").push(static_cast<double>(hm_.used_bytes()));
+  reg.series("scip.hl_bytes").push(static_cast<double>(hl_.used_bytes()));
+  reg.series("scip.psel_miss").push(static_cast<double>(psel_miss_));
+  reg.series("scip.psel_prom").push(static_cast<double>(psel_prom_));
+  const std::uint64_t dec = prom_decisions_ - sampled_prom_decisions_;
+  const std::uint64_t dem = prom_demotions_ - sampled_prom_demotions_;
+  reg.series("scip.window_demotion_fraction")
+      .push(dec ? static_cast<double>(dem) / static_cast<double>(dec) : 0.0);
+  sampled_prom_decisions_ = prom_decisions_;
+  sampled_prom_demotions_ = prom_demotions_;
+
+  reg.counter("scip.overrides").raise_to(overrides_);
+  reg.counter("scip.miss_duel_feeds").raise_to(miss_duel_feeds_);
+  reg.counter("scip.prom_duel_feeds").raise_to(prom_duel_feeds_);
+  reg.counter("scip.miss_mru_inserts").raise_to(miss_mru_inserts_);
+  reg.counter("scip.miss_lru_inserts").raise_to(miss_lru_inserts_);
+  reg.counter("scip.prom_decisions").raise_to(prom_decisions_);
+  reg.counter("scip.prom_demotions").raise_to(prom_demotions_);
+  reg.counter("scip.lr_restarts")
+      .raise_to(static_cast<std::uint64_t>(lr_.restarts()));
 }
 
 std::uint64_t ScipAdvisor::metadata_bytes() const {

@@ -38,6 +38,7 @@
 #include <memory>
 
 #include "ml/mab.hpp"
+#include "obs/introspect.hpp"
 #include "sim/advisor.hpp"
 #include "sim/ghost_list.hpp"
 #include "sim/lru_queue.hpp"
@@ -75,7 +76,7 @@ struct ScipParams {
   std::uint64_t seed = 47;
 };
 
-class ScipAdvisor : public InsertionAdvisor {
+class ScipAdvisor : public InsertionAdvisor, public obs::Introspectable {
  public:
   ScipAdvisor(std::uint64_t cache_capacity, ScipParams params = {});
 
@@ -88,6 +89,13 @@ class ScipAdvisor : public InsertionAdvisor {
   void on_request(const Request& req, bool hit) override;
   [[nodiscard]] std::uint64_t metadata_bytes() const override;
   [[nodiscard]] const char* tag() const override { return "SCIP"; }
+
+  /// Exports the learned state under the "scip." prefix: per window the
+  /// two-expert MAB probabilities for insertions and promotions (each pair
+  /// sums to 1), the Algorithm-2 learning rate, H_m/H_l occupancy, duel
+  /// counter levels and the P-ZRO demotion fraction among risk-class
+  /// promotion decisions; cumulative totals as counters. See DESIGN.md §5c.
+  void sample_metrics(obs::MetricRegistry& reg) override;
 
   // Introspection (tests, ablations, trajectory plots).
   [[nodiscard]] double w_mip() const noexcept { return w_miss_; }
@@ -106,6 +114,21 @@ class ScipAdvisor : public InsertionAdvisor {
   }
   [[nodiscard]] std::uint64_t prom_duel_feeds() const noexcept {
     return prom_duel_feeds_;
+  }
+  /// Executed insertion decisions by position (misses that were admitted).
+  [[nodiscard]] std::uint64_t miss_mru_inserts() const noexcept {
+    return miss_mru_inserts_;
+  }
+  [[nodiscard]] std::uint64_t miss_lru_inserts() const noexcept {
+    return miss_lru_inserts_;
+  }
+  /// Promotion decisions over the P-ZRO risk class (first residency hit)
+  /// and how many of those were demoted to the LRU end.
+  [[nodiscard]] std::uint64_t prom_decisions() const noexcept {
+    return prom_decisions_;
+  }
+  [[nodiscard]] std::uint64_t prom_demotions() const noexcept {
+    return prom_demotions_;
   }
 
  private:
@@ -158,6 +181,14 @@ class ScipAdvisor : public InsertionAdvisor {
   std::uint64_t overrides_ = 0;
   std::uint64_t miss_duel_feeds_ = 0;
   std::uint64_t prom_duel_feeds_ = 0;
+  std::uint64_t miss_mru_inserts_ = 0;
+  std::uint64_t miss_lru_inserts_ = 0;
+  std::uint64_t prom_decisions_ = 0;
+  std::uint64_t prom_demotions_ = 0;
+  // Snapshot of the promotion counters at the previous sample_metrics()
+  // call, for the per-window demotion fraction series.
+  std::uint64_t sampled_prom_decisions_ = 0;
+  std::uint64_t sampled_prom_demotions_ = 0;
   std::uint64_t window_hits_ = 0;
   std::uint64_t window_requests_ = 0;
 };

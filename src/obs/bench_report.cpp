@@ -1,0 +1,81 @@
+#include "obs/bench_report.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace cdn::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::add_row(json::Value row) { rows_.push_back(std::move(row)); }
+
+std::size_t BenchReport::rows() const { return rows_.size(); }
+
+json::Value BenchReport::document() const {
+  json::Value doc{json::Object{}};
+  doc.set("schema", "cdn-bench-report");
+  doc.set("version", kBenchReportSchemaVersion);
+  doc.set("bench", name_);
+  doc.set("rows", json::Value{rows_});
+  return doc;
+}
+
+std::string BenchReport::file_name() const {
+  return "BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::write(const std::string& dir) const {
+  const std::string path =
+      dir.empty() ? file_name() : dir + "/" + file_name();
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << document().dump(2) << '\n';
+  return static_cast<bool>(f);
+}
+
+std::string validate_bench_report(const json::Value& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (const json::Value* s = doc.find("schema");
+      !s || !s->is_string() || s->as_string() != "cdn-bench-report") {
+    return "schema marker is not \"cdn-bench-report\"";
+  }
+  if (const json::Value* v = doc.find("version");
+      !v || !v->is_number() || v->as_number() < 1) {
+    return "missing or invalid version";
+  }
+  if (const json::Value* b = doc.find("bench"); !b || !b->is_string() ||
+      b->as_string().empty()) {
+    return "missing or empty bench name";
+  }
+  const json::Value* rows = doc.find("rows");
+  if (!rows || !rows->is_array()) return "missing rows array";
+  std::size_t i = 0;
+  for (const json::Value& row : rows->as_array()) {
+    const std::string at = "row " + std::to_string(i);
+    if (!row.is_object()) return at + " is not an object";
+    for (const char* key : {"policy", "trace"}) {
+      const json::Value* v = row.find(key);
+      if (!v || !v->is_string() || v->as_string().empty()) {
+        return at + ": missing or empty '" + key + "'";
+      }
+    }
+    for (const char* key : kBenchRowRequiredNumbers) {
+      const json::Value* v = row.find(key);
+      if (!v || !v->is_number() || !std::isfinite(v->as_number()) ||
+          v->as_number() < 0) {
+        return at + ": '" + key + "' is not a finite non-negative number";
+      }
+    }
+    for (const char* key : {"object_miss_ratio", "byte_miss_ratio",
+                            "warm_object_miss_ratio",
+                            "warm_byte_miss_ratio"}) {
+      if (row.find(key)->as_number() > 1.0) {
+        return at + ": '" + key + "' exceeds 1";
+      }
+    }
+    ++i;
+  }
+  return "";
+}
+
+}  // namespace cdn::obs

@@ -1,0 +1,58 @@
+// BenchReport: the BENCH_<name>.json perf-trajectory artifact.
+//
+// Every bench binary can emit one machine-readable report next to its
+// pretty tables, giving the repo a perf baseline that later PRs diff
+// against (TPS, warm miss ratios, metadata peak — the Fig. 9/11 axes).
+// The row fields come from SimResult via sim_result_row() (simulator.hpp);
+// this layer only owns the envelope, the required-field contract, and the
+// file write, so the schema validator can be reused by tests without
+// linking the simulator.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace cdn::obs {
+
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+/// Row fields every bench report row must carry (numbers), in addition to
+/// the string fields "policy" and "trace".
+inline constexpr const char* kBenchRowRequiredNumbers[] = {
+    "requests",          "tps",
+    "object_miss_ratio", "byte_miss_ratio",
+    "warm_object_miss_ratio", "warm_byte_miss_ratio",
+    "metadata_peak_bytes",
+};
+
+class BenchReport {
+ public:
+  /// `name` identifies the bench ("fig7_scip_vs_sci"); the file written is
+  /// BENCH_<name>.json.
+  explicit BenchReport(std::string name);
+
+  /// Appends one result row (an object; see kBenchRowRequiredNumbers).
+  void add_row(json::Value row);
+
+  [[nodiscard]] std::size_t rows() const;
+
+  /// The full document: { schema, version, bench, rows: [...] }.
+  [[nodiscard]] json::Value document() const;
+
+  /// Path this report writes to, given a directory.
+  [[nodiscard]] std::string file_name() const;
+
+  /// Writes BENCH_<name>.json under `dir`. Returns false on I/O failure.
+  bool write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  json::Array rows_;
+};
+
+/// Validates a parsed bench-report document against the schema above.
+/// Returns "" when valid, else a description of the first violation.
+[[nodiscard]] std::string validate_bench_report(const json::Value& doc);
+
+}  // namespace cdn::obs

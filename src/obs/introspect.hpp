@@ -1,0 +1,33 @@
+// Introspectable: the opt-in policy-introspection contract.
+//
+// A cache (or an advisor hosted inside one) that wants its internal learned
+// state on the record implements sample_metrics(); the simulator calls it
+// once per observation window (and once for a trailing partial window) when
+// SimOptions::collect_policy_metrics is set, discovering support via
+// dynamic_cast — policies that don't implement it cost nothing.
+//
+// Contract:
+//  * Per-window state goes into reg.series("<policy>.<metric>") — one push
+//    per call, so every series stays aligned with the simulator's
+//    window_miss_ratios.
+//  * Cumulative totals go into reg.counter(...).raise_to(total); one-shot
+//    scalars into reg.gauge(...).set(v).
+//  * The call may update internal bookkeeping (e.g. a last-window snapshot
+//    used to derive per-window fractions) but must not perturb policy
+//    decisions: a run with sampling enabled must produce bitwise-identical
+//    hit/miss behavior to a run without it.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace cdn::obs {
+
+class Introspectable {
+ public:
+  virtual ~Introspectable() = default;
+
+  /// Records the component's current internal state into `reg`.
+  virtual void sample_metrics(MetricRegistry& reg) = 0;
+};
+
+}  // namespace cdn::obs

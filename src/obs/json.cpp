@@ -1,0 +1,375 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace cdn::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value v) {
+  if (type_ != Type::kObject) {
+    *this = Value(Object{});
+  }
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  // JSON has no NaN/Inf; serialize them as null so output always parses.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  // %.17g round-trips any double through the parser.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: append_number(out, num_); return;
+    case Type::kString: append_escaped(out, str_); return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      fail("trailing characters");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* msg) {
+    if (error_ && error_->empty()) {
+      *error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // Only BMP code points are produced by our writer; encode UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(s_.data() + start, s_.data() + pos_, d);
+    if (ec != std::errc{} || ptr != s_.data() + pos_) {
+      fail("bad number");
+      return false;
+    }
+    out = Value(d);
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = s_[pos_];
+    if (c == 'n') {
+      if (!consume_literal("null")) return false;
+      out = Value(nullptr);
+      return true;
+    }
+    if (c == 't') {
+      if (!consume_literal("true")) return false;
+      out = Value(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) return false;
+      out = Value(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Value(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      ++depth_;
+      Array arr;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+      } else {
+        while (true) {
+          Value v;
+          if (!parse_value(v)) return false;
+          arr.push_back(std::move(v));
+          skip_ws();
+          if (pos_ < s_.size() && s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            break;
+          }
+          fail("expected ',' or ']'");
+          return false;
+        }
+      }
+      --depth_;
+      out = Value(std::move(arr));
+      return true;
+    }
+    if (c == '{') {
+      ++pos_;
+      ++depth_;
+      Object obj;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+      } else {
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos_ >= s_.size() || s_[pos_] != ':') {
+            fail("expected ':'");
+            return false;
+          }
+          ++pos_;
+          Value v;
+          if (!parse_value(v)) return false;
+          obj.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (pos_ < s_.size() && s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            break;
+          }
+          fail("expected ',' or '}'");
+          return false;
+        }
+      }
+      --depth_;
+      out = Value(std::move(obj));
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  static constexpr int kMaxDepth = 64;
+  const std::string& s_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+}  // namespace cdn::obs::json

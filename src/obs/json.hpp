@@ -1,0 +1,89 @@
+// Minimal JSON document model for the observability layer.
+//
+// The repo bakes in no JSON dependency, and the metrics / bench-report
+// schemas are small and fully under our control, so a tiny value type with
+// a writer and a strict parser is all we need. Object keys preserve
+// insertion order (schemas read naturally, output is deterministic), the
+// writer emits RFC 8259 JSON with round-trippable doubles, and the parser
+// accepts exactly what the writer emits plus ordinary whitespace — it is
+// used by tests to validate everything we serialize.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cdn::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object representation.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(i) {}
+  Value(std::int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return arr_; }
+  [[nodiscard]] Array& as_array() { return arr_; }
+  [[nodiscard]] const Object& as_object() const { return obj_; }
+  [[nodiscard]] Object& as_object() { return obj_; }
+
+  /// Object member lookup; nullptr if absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Appends (or replaces) an object member. Value must be an object.
+  void set(std::string key, Value v);
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Strict JSON parse; returns std::nullopt on any syntax error. `error`
+/// (optional) receives a short description with a byte offset.
+[[nodiscard]] std::optional<Value> parse(const std::string& text,
+                                         std::string* error = nullptr);
+
+}  // namespace cdn::obs::json

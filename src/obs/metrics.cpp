@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace cdn::obs {
+
+json::Value to_json_value(const MetricRegistry& reg) {
+  json::Value doc{json::Object{}};
+  doc.set("schema", "cdn-metrics");
+  doc.set("version", kMetricsSchemaVersion);
+
+  json::Value labels{json::Object{}};
+  for (const auto& [k, v] : reg.labels()) labels.set(k, v);
+  doc.set("labels", std::move(labels));
+
+  json::Value counters{json::Object{}};
+  for (const auto& [k, c] : reg.counters()) counters.set(k, c.value());
+  doc.set("counters", std::move(counters));
+
+  json::Value gauges{json::Object{}};
+  for (const auto& [k, g] : reg.gauges()) gauges.set(k, g.value());
+  doc.set("gauges", std::move(gauges));
+
+  json::Value series{json::Object{}};
+  for (const auto& [k, s] : reg.all_series()) {
+    json::Array arr;
+    arr.reserve(s.size());
+    for (const double v : s.samples()) arr.emplace_back(v);
+    series.set(k, json::Value{std::move(arr)});
+  }
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+std::string to_json(const MetricRegistry& reg, int indent) {
+  return to_json_value(reg).dump(indent);
+}
+
+std::string series_csv(const MetricRegistry& reg) {
+  std::string out = "window";
+  std::size_t rows = 0;
+  for (const auto& [name, s] : reg.all_series()) {
+    out += ',';
+    out += name;
+    rows = std::max(rows, s.size());
+  }
+  out += '\n';
+  char buf[40];
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::snprintf(buf, sizeof buf, "%zu", i);
+    out += buf;
+    for (const auto& [name, s] : reg.all_series()) {
+      out += ',';
+      if (i < s.size()) {
+        std::snprintf(buf, sizeof buf, "%.17g", s.samples()[i]);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string scalars_csv(const MetricRegistry& reg) {
+  std::string out = "kind,name,value\n";
+  char buf[48];
+  for (const auto& [k, v] : reg.labels()) {
+    out += "label," + k + ',' + v + '\n';
+  }
+  for (const auto& [k, c] : reg.counters()) {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(c.value()));
+    out += "counter," + k + ',' + buf + '\n';
+  }
+  for (const auto& [k, g] : reg.gauges()) {
+    std::snprintf(buf, sizeof buf, "%.17g", g.value());
+    out += "gauge," + k + ',' + buf + '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string expect_member(const json::Value& doc, const char* key,
+                          json::Type type, const char* type_name) {
+  const json::Value* v = doc.find(key);
+  if (!v) return std::string("missing member '") + key + "'";
+  if (v->type() != type) {
+    return std::string("member '") + key + "' is not " + type_name;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_metrics_document(const json::Value& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (const json::Value* s = doc.find("schema");
+      !s || !s->is_string() || s->as_string() != "cdn-metrics") {
+    return "schema marker is not \"cdn-metrics\"";
+  }
+  if (const json::Value* v = doc.find("version");
+      !v || !v->is_number() || v->as_number() < 1) {
+    return "missing or invalid version";
+  }
+  for (const char* key : {"labels", "counters", "gauges", "series"}) {
+    if (auto err = expect_member(doc, key, json::Type::kObject, "an object");
+        !err.empty()) {
+      return err;
+    }
+  }
+  for (const auto& [k, v] : doc.find("labels")->as_object()) {
+    if (!v.is_string()) return "label '" + k + "' is not a string";
+  }
+  for (const auto& [k, v] : doc.find("counters")->as_object()) {
+    if (!v.is_number() || v.as_number() < 0) {
+      return "counter '" + k + "' is not a non-negative number";
+    }
+  }
+  for (const auto& [k, v] : doc.find("gauges")->as_object()) {
+    if (!v.is_number()) return "gauge '" + k + "' is not a number";
+  }
+  for (const auto& [k, v] : doc.find("series")->as_object()) {
+    if (!v.is_array()) return "series '" + k + "' is not an array";
+    for (const json::Value& sample : v.as_array()) {
+      if (!sample.is_number() && !sample.is_null()) {
+        return "series '" + k + "' has a non-numeric sample";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace cdn::obs

@@ -1,0 +1,123 @@
+// Metric primitives and their registry — the core of the observability
+// layer (src/obs).
+//
+// Three primitives cover everything the simulator and the policies need to
+// expose:
+//   Counter        — monotonic event count (overrides fired, duel feeds);
+//   Gauge          — last-value scalar (adaptive threshold, psel level);
+//   WindowedSeries — one double per sampling window (expert probabilities,
+//                    H_m/H_l occupancy, demotion fraction vs. window).
+//
+// A MetricRegistry is a flat, name-keyed collection of the three plus
+// string labels (policy, trace). Names are dotted paths with a policy
+// prefix ("scip.p_mru_insert", "s4lru.seg2_bytes"); the registry stores
+// them sorted so every export is deterministic — a property the sweep
+// determinism test pins. Registries are not thread-safe: each simulate()
+// call owns one, and cross-thread aggregation happens in sinks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cdn::obs {
+
+/// Monotonically non-decreasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  /// Raises the counter to `v` (no-op if already past it) — used when a
+  /// policy samples a cumulative internal counter into the registry.
+  void raise_to(std::uint64_t v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One sample per observation window, in window order.
+class WindowedSeries {
+ public:
+  void push(double v) { samples_.push_back(v); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+class MetricRegistry {
+ public:
+  /// Get-or-create by name. References stay valid for the registry's life.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  WindowedSeries& series(const std::string& name) { return series_[name]; }
+
+  void set_label(const std::string& key, std::string value) {
+    labels_[key] = std::move(value);
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, WindowedSeries>& all_series()
+      const {
+    return series_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && series_.empty();
+  }
+
+ private:
+  std::map<std::string, std::string> labels_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, WindowedSeries> series_;
+};
+
+/// Current metrics document schema version ("cdn-metrics").
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Serializes a registry into the "cdn-metrics" JSON document:
+///   { "schema": "cdn-metrics", "version": 1,
+///     "labels": {...}, "counters": {...}, "gauges": {...},
+///     "series": { "<name>": [v0, v1, ...], ... } }
+[[nodiscard]] json::Value to_json_value(const MetricRegistry& reg);
+[[nodiscard]] std::string to_json(const MetricRegistry& reg, int indent = 0);
+
+/// CSV of the windowed series: header "window,<name>,...", one row per
+/// window index. Ragged series are padded with empty cells.
+[[nodiscard]] std::string series_csv(const MetricRegistry& reg);
+
+/// CSV of labels, counters and gauges: "kind,name,value" rows.
+[[nodiscard]] std::string scalars_csv(const MetricRegistry& reg);
+
+/// Validates a parsed "cdn-metrics" document. Returns "" when valid, else
+/// a short description of the first violation.
+[[nodiscard]] std::string validate_metrics_document(const json::Value& doc);
+
+}  // namespace cdn::obs

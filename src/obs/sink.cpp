@@ -1,0 +1,41 @@
+#include "obs/sink.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cdn::obs {
+
+void CollectingSink::consume(const MetricRegistry& reg) {
+  std::string doc = to_json(reg);
+  std::lock_guard lock(mu_);
+  docs_.push_back(std::move(doc));
+}
+
+std::vector<std::string> CollectingSink::documents() const {
+  std::lock_guard lock(mu_);
+  return docs_;
+}
+
+std::size_t CollectingSink::count() const {
+  std::lock_guard lock(mu_);
+  return docs_.size();
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path) : path_(path) {
+  std::ofstream f(path_, std::ios::trunc);
+  if (!f) {
+    throw std::runtime_error("JsonLinesSink: cannot open " + path_);
+  }
+}
+
+void JsonLinesSink::consume(const MetricRegistry& reg) {
+  const std::string doc = to_json(reg);
+  std::lock_guard lock(mu_);
+  std::ofstream f(path_, std::ios::app);
+  if (!f) {
+    throw std::runtime_error("JsonLinesSink: cannot append to " + path_);
+  }
+  f << doc << '\n';
+}
+
+}  // namespace cdn::obs

@@ -1,0 +1,54 @@
+// Metric sinks: where finished registries go.
+//
+// simulate() hands its MetricRegistry to the sink exactly once, after the
+// last request. run_sweep() shares one sink across worker threads, so sinks
+// must be internally synchronized; arrival order across jobs is unspecified
+// (results in SimResult stay in job order — sinks are a streaming side
+// channel, e.g. a JSONL file a notebook tails during a long sweep).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cdn::obs {
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  /// Consumes one finished registry. Must be safe to call concurrently.
+  virtual void consume(const MetricRegistry& reg) = 0;
+};
+
+/// Keeps serialized documents in memory (tests, notebooks).
+class CollectingSink final : public MetricsSink {
+ public:
+  void consume(const MetricRegistry& reg) override;
+
+  /// Snapshot of all documents received so far (JSON text, arrival order).
+  [[nodiscard]] std::vector<std::string> documents() const;
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> docs_;
+};
+
+/// Appends one compact "cdn-metrics" JSON document per line to a file.
+class JsonLinesSink final : public MetricsSink {
+ public:
+  /// Truncates or creates `path`. Throws std::runtime_error if unwritable.
+  explicit JsonLinesSink(const std::string& path);
+
+  void consume(const MetricRegistry& reg) override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+};
+
+}  // namespace cdn::obs

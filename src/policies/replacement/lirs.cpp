@@ -160,4 +160,13 @@ std::uint64_t LirsCache::metadata_bytes() const {
          meta_.size() * (sizeof(Meta) + 48);
 }
 
+void LirsCache::sample_metrics(obs::MetricRegistry& reg) {
+  reg.series("lirs.lir_bytes").push(static_cast<double>(lir_bytes_));
+  reg.series("lirs.hir_resident_bytes")
+      .push(static_cast<double>(resident_bytes_ - lir_bytes_));
+  reg.series("lirs.stack_entries").push(static_cast<double>(stack_.count()));
+  reg.series("lirs.queue_entries").push(static_cast<double>(queue_.count()));
+  reg.series("lirs.tracked_objects").push(static_cast<double>(meta_.size()));
+}
+
 }  // namespace cdn

@@ -11,12 +11,13 @@
 
 #include <unordered_map>
 
+#include "obs/introspect.hpp"
 #include "sim/cache.hpp"
 #include "sim/lru_queue.hpp"
 
 namespace cdn {
 
-class LirsCache final : public Cache {
+class LirsCache final : public Cache, public obs::Introspectable {
  public:
   explicit LirsCache(std::uint64_t capacity_bytes, double hir_frac = 0.05);
 
@@ -27,6 +28,9 @@ class LirsCache final : public Cache {
     return resident_bytes_;
   }
   [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Exports the LIR/HIR byte split and stack/queue sizes ("lirs." prefix).
+  void sample_metrics(obs::MetricRegistry& reg) override;
 
  private:
   enum class State : std::uint8_t { kLir, kHirResident, kHirNonResident };

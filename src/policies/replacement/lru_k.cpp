@@ -111,6 +111,33 @@ bool LruKCache::access(const Request& req) {
   return false;
 }
 
+void LruKCache::sample_metrics(obs::MetricRegistry& reg) {
+  std::uint64_t band0_objects = 0;
+  std::uint64_t band0_bytes = 0;
+  std::uint64_t band1_objects = 0;
+  std::uint64_t band1_bytes = 0;
+  for (const auto& [band, time, id] : order_) {
+    (void)time;
+    const Obj& o = objects_.at(id);
+    if (band == 0) {
+      ++band0_objects;
+      band0_bytes += o.size;
+    } else {
+      ++band1_objects;
+      band1_bytes += o.size;
+    }
+  }
+  reg.series("lruk.band0_objects").push(static_cast<double>(band0_objects));
+  reg.series("lruk.band0_bytes").push(static_cast<double>(band0_bytes));
+  reg.series("lruk.band1_objects").push(static_cast<double>(band1_objects));
+  reg.series("lruk.band1_bytes").push(static_cast<double>(band1_bytes));
+  reg.series("lruk.retained_histories")
+      .push(static_cast<double>(retained_fifo_.size()));
+  if (auto* in = dynamic_cast<obs::Introspectable*>(advisor_.get())) {
+    in->sample_metrics(reg);
+  }
+}
+
 std::uint64_t LruKCache::metadata_bytes() const {
   // Obj record + history timestamps + set node + hash overhead.
   const std::uint64_t per_obj =

@@ -16,12 +16,13 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/introspect.hpp"
 #include "sim/advisor.hpp"
 #include "sim/cache.hpp"
 
 namespace cdn {
 
-class LruKCache final : public Cache {
+class LruKCache final : public Cache, public obs::Introspectable {
  public:
   LruKCache(std::uint64_t capacity_bytes, int k = 2,
             std::shared_ptr<InsertionAdvisor> advisor = nullptr);
@@ -33,6 +34,11 @@ class LruKCache final : public Cache {
     return used_bytes_;
   }
   [[nodiscard]] std::uint64_t metadata_bytes() const override;
+
+  /// Exports the resident-set split between the infinite-K-distance band
+  /// (fewer than K references, evicted first) and the K-referenced band,
+  /// plus the retained-history backlog, per window ("lruk." prefix).
+  void sample_metrics(obs::MetricRegistry& reg) override;
 
  private:
   struct Obj {

@@ -85,6 +85,15 @@ std::uint64_t S4LruCache::metadata_bytes() const {
   return total;
 }
 
+void S4LruCache::sample_metrics(obs::MetricRegistry& reg) {
+  for (int i = 0; i < kLevels; ++i) {
+    const auto& s = seg_[static_cast<std::size_t>(i)];
+    const std::string prefix = "s4lru.seg" + std::to_string(i);
+    reg.series(prefix + "_bytes").push(static_cast<double>(s.used_bytes()));
+    reg.series(prefix + "_objects").push(static_cast<double>(s.count()));
+  }
+}
+
 bool S4LruCache::check_invariants() const {
   std::uint64_t n = 0;
   for (int i = 0; i < kLevels; ++i) {

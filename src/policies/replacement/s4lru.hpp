@@ -8,12 +8,13 @@
 #include <array>
 #include <unordered_map>
 
+#include "obs/introspect.hpp"
 #include "sim/cache.hpp"
 #include "sim/lru_queue.hpp"
 
 namespace cdn {
 
-class S4LruCache final : public Cache {
+class S4LruCache final : public Cache, public obs::Introspectable {
  public:
   explicit S4LruCache(std::uint64_t capacity_bytes);
 
@@ -28,6 +29,9 @@ class S4LruCache final : public Cache {
   /// Invariant check used by tests: per-segment byte usage within bounds
   /// and the level index consistent with segment membership.
   [[nodiscard]] bool check_invariants() const;
+
+  /// Exports per-segment occupancy ("s4lru.seg<i>_bytes" / "_objects").
+  void sample_metrics(obs::MetricRegistry& reg) override;
 
  private:
   static constexpr int kLevels = 4;

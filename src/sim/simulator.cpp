@@ -1,10 +1,25 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/introspect.hpp"
 #include "util/stopwatch.hpp"
 
 namespace cdn {
+
+std::size_t warmup_request_count(double warmup_frac, std::size_t n) {
+  if (!(warmup_frac > 0.0) || n == 0) return 0;
+  if (warmup_frac >= 1.0) return n;
+  const double raw = warmup_frac * static_cast<double>(n);
+  // A fraction like 0.7 is not representable in binary, so the double
+  // product sits a few ulps below the intended integer (0.7 * 10 ->
+  // 6.9999999999999996) and a raw floor is off by one. Nudge by a relative
+  // epsilon far above ulp error and far below one request.
+  const auto warm =
+      static_cast<std::size_t>(std::floor(raw + raw * 1e-12 + 1e-12));
+  return std::min(warm, n);
+}
 
 SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
   SimResult res;
@@ -12,8 +27,27 @@ SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
   res.trace = trace.name;
 
   const std::size_t n = trace.requests.size();
-  const auto warm_start =
-      static_cast<std::size_t>(opts.warmup_frac * static_cast<double>(n));
+  const std::size_t warm_start = warmup_request_count(opts.warmup_frac, n);
+
+  const bool collect = opts.collect_policy_metrics || opts.metrics_sink;
+  obs::MetricRegistry reg;
+  obs::Introspectable* introspectable = nullptr;
+  if (collect) {
+    reg.set_label("policy", res.policy);
+    reg.set_label("trace", res.trace);
+    introspectable = dynamic_cast<obs::Introspectable*>(&cache);
+  }
+  const auto close_window = [&](std::uint64_t hits, std::size_t count) {
+    res.window_miss_ratios.push_back(
+        1.0 - static_cast<double>(hits) / static_cast<double>(count));
+    if (collect) {
+      reg.series("sim.window_miss_ratio").push(res.window_miss_ratios.back());
+      reg.series("sim.window_requests").push(static_cast<double>(count));
+      reg.series("sim.used_bytes")
+          .push(static_cast<double>(cache.used_bytes()));
+      if (introspectable) introspectable->sample_metrics(reg);
+    }
+  };
 
   std::uint64_t window_hits = 0;
   std::size_t window_count = 0;
@@ -42,9 +76,7 @@ SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
 
     if (hit) ++window_hits;
     if (++window_count == opts.window) {
-      res.window_miss_ratios.push_back(
-          1.0 - static_cast<double>(window_hits) /
-                    static_cast<double>(window_count));
+      close_window(window_hits, window_count);
       window_hits = 0;
       window_count = 0;
     }
@@ -56,16 +88,58 @@ SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
     }
   }
   if (window_count > 0) {
-    res.window_miss_ratios.push_back(
-        1.0 -
-        static_cast<double>(window_hits) / static_cast<double>(window_count));
+    close_window(window_hits, window_count);
   }
 
   res.wall_seconds = wall.seconds();
   res.cpu_seconds = thread_cpu_seconds() - cpu0;
   res.metadata_peak_bytes =
       std::max(res.metadata_peak_bytes, cache.metadata_bytes());
+
+  if (collect) {
+    reg.counter("sim.requests").raise_to(res.requests);
+    reg.counter("sim.hits").raise_to(res.hits);
+    reg.counter("sim.bytes_total").raise_to(res.bytes_total);
+    reg.counter("sim.bytes_hit").raise_to(res.bytes_hit);
+    reg.counter("sim.warm_requests").raise_to(res.warm_requests);
+    reg.counter("sim.warm_hits").raise_to(res.warm_hits);
+    reg.gauge("sim.metadata_peak_bytes")
+        .set(static_cast<double>(res.metadata_peak_bytes));
+    res.metrics_json = obs::to_json(reg);
+    if (opts.metrics_sink) opts.metrics_sink->consume(reg);
+  }
   return res;
+}
+
+obs::json::Value sim_result_row(const SimResult& r) {
+  obs::json::Value row{obs::json::Object{}};
+  row.set("policy", r.policy);
+  row.set("trace", r.trace);
+  row.set("requests", r.requests);
+  row.set("hits", r.hits);
+  row.set("bytes_total", r.bytes_total);
+  row.set("bytes_hit", r.bytes_hit);
+  row.set("tps", r.tps());
+  row.set("object_miss_ratio", r.object_miss_ratio());
+  row.set("byte_miss_ratio", r.byte_miss_ratio());
+  row.set("warm_object_miss_ratio", r.warm_object_miss_ratio());
+  row.set("warm_byte_miss_ratio", r.warm_byte_miss_ratio());
+  row.set("metadata_peak_bytes", r.metadata_peak_bytes);
+  row.set("wall_seconds", r.wall_seconds);
+  row.set("cpu_seconds", r.cpu_seconds);
+  return row;
+}
+
+bool deterministic_equal(const SimResult& a, const SimResult& b) {
+  return a.policy == b.policy && a.trace == b.trace &&
+         a.requests == b.requests && a.hits == b.hits &&
+         a.bytes_total == b.bytes_total && a.bytes_hit == b.bytes_hit &&
+         a.warm_requests == b.warm_requests && a.warm_hits == b.warm_hits &&
+         a.warm_bytes_total == b.warm_bytes_total &&
+         a.warm_bytes_hit == b.warm_bytes_hit &&
+         a.window_miss_ratios == b.window_miss_ratios &&
+         a.metrics_json == b.metrics_json &&
+         a.metadata_peak_bytes == b.metadata_peak_bytes;
 }
 
 }  // namespace cdn

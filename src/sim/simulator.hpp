@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
 #include "sim/cache.hpp"
 #include "trace/request.hpp"
 
@@ -23,6 +25,15 @@ struct SimOptions {
   double warmup_frac = 0.2;
   /// Sample metadata_bytes() every this many requests for the peak.
   std::size_t metadata_sample_every = 10'000;
+  /// If set, sample the cache's obs::Introspectable state once per window
+  /// (and once for a trailing partial window) and serialize the registry
+  /// into SimResult::metrics_json. Off by default: introspection sampling
+  /// is cheap but not free, and most sweeps only want the headline numbers.
+  bool collect_policy_metrics = false;
+  /// Optional destination for the finished MetricRegistry (called once at
+  /// the end of simulate; see obs/sink.hpp). Implies metric collection.
+  /// Non-owning; must outlive the simulate()/run_sweep() call.
+  obs::MetricsSink* metrics_sink = nullptr;
 };
 
 struct SimResult {
@@ -40,6 +51,11 @@ struct SimResult {
   std::uint64_t warm_bytes_hit = 0;
 
   std::vector<double> window_miss_ratios;
+
+  /// Serialized "cdn-metrics" JSON document (obs/metrics.hpp) when the run
+  /// collected policy metrics; empty otherwise. Deterministic: contains no
+  /// timing, so identical runs produce identical blobs.
+  std::string metrics_json;
 
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
@@ -76,5 +92,22 @@ struct SimResult {
 /// Runs `trace` through `cache` and collects metrics.
 [[nodiscard]] SimResult simulate(Cache& cache, const Trace& trace,
                                  const SimOptions& opts = {});
+
+/// Number of leading requests simulate() excludes from warm_* stats:
+/// floor(warmup_frac * n) in real arithmetic (clamped to [0, n]), with a
+/// relative-epsilon guard so representable-intent products like 0.7 * 10
+/// land on 7, not on the 6 a raw double floor produces.
+[[nodiscard]] std::size_t warmup_request_count(double warmup_frac,
+                                               std::size_t n);
+
+/// One bench-report row for this result (see obs/bench_report.hpp): policy,
+/// trace, requests, tps, full + warm miss ratios, metadata peak.
+[[nodiscard]] obs::json::Value sim_result_row(const SimResult& r);
+
+/// True if two results are equal in every deterministic field — everything
+/// except wall/cpu seconds, which depend on machine load. This is the
+/// equality the sweep-determinism contract ("no shared mutable state"
+/// in sweep.hpp) is stated in.
+[[nodiscard]] bool deterministic_equal(const SimResult& a, const SimResult& b);
 
 }  // namespace cdn

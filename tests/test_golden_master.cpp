@@ -1,0 +1,123 @@
+// Golden-master end-to-end tests: four policies (SCIP, LRU, SCI, LIP) run
+// over one small fixed-seed synthetic trace, with EXACT hit/miss/byte
+// counters pinned — not ratios. Any behavioral drift anywhere in the
+// engine (generator, RNG, queue, advisor, simulator accounting) fails
+// these loudly, which is the point: an intentional behavior change must
+// re-pin the numbers in the same commit that explains why.
+//
+// The pinned values were produced by the code at the time this suite was
+// introduced; everything below is deterministic (fixed seeds, no threads,
+// no wall-clock dependence).
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace cdn {
+namespace {
+
+// A behavior-rich spec: Zipf core, one-hit wonders, pair bursts and a scan
+// phase, so insertion and promotion decisions all get exercised.
+WorkloadSpec golden_spec() {
+  WorkloadSpec spec;
+  spec.name = "golden";
+  spec.seed = 20260806;
+  spec.n_requests = 40'000;
+  spec.catalog_size = 4'000;
+  spec.zipf_alpha = 0.9;
+  spec.p_onehit = 0.25;
+  spec.p_burst = 0.08;
+  spec.burst_gap_mean = 800;
+  spec.mean_size = 8'000;
+  spec.size_sigma = 1.2;
+  spec.max_size = 1 << 20;
+  spec.scan_interval = 15'000;
+  spec.scan_length = 2'000;
+  spec.scan_onehit = 0.9;
+  return spec;
+}
+
+const Trace& golden_trace() {
+  static const Trace t = generate_trace(golden_spec());
+  return t;
+}
+
+constexpr std::uint64_t kCapacity = 8ULL << 20;
+constexpr std::uint64_t kBytesTotal = 376'486'622u;
+
+struct Golden {
+  const char* policy;
+  std::uint64_t hits;
+  std::uint64_t bytes_hit;
+  std::uint64_t warm_hits;
+  std::uint64_t warm_bytes_hit;
+};
+
+// The golden master. To re-pin after an intentional behavior change, print
+// the fields of each SimResult below and update this table.
+constexpr Golden kGolden[] = {
+    {"SCIP", 13'721u, 138'052'766u, 11'406u, 116'858'710u},
+    {"LRU", 13'826u, 138'854'928u, 11'493u, 117'571'931u},
+    {"SCI", 13'731u, 138'048'342u, 11'414u, 116'852'560u},
+    {"LIP", 10'570u, 110'151'082u, 9'088u, 96'472'935u},
+};
+
+SimOptions golden_options() {
+  SimOptions opts;
+  opts.window = 10'000;
+  opts.warmup_frac = 0.2;
+  return opts;
+}
+
+TEST(GoldenMaster, TraceIsPinned) {
+  const Trace& t = golden_trace();
+  EXPECT_EQ(t.requests.size(), 40'000u);
+  EXPECT_EQ(t.unique_objects(), 18'725u);
+  EXPECT_EQ(t.working_set_bytes(), 171'576'894u);
+  std::uint64_t total = 0;
+  for (const auto& r : t.requests) total += r.size;
+  EXPECT_EQ(total, kBytesTotal);
+}
+
+class GoldenMasterPolicy : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenMasterPolicy, ExactCountersMatch) {
+  const Golden& g = GetParam();
+  auto cache = make_cache(g.policy, kCapacity);
+  const auto res = simulate(*cache, golden_trace(), golden_options());
+
+  EXPECT_EQ(res.policy, g.policy);
+  EXPECT_EQ(res.requests, 40'000u);
+  EXPECT_EQ(res.bytes_total, kBytesTotal);
+  EXPECT_EQ(res.hits, g.hits) << "object hits drifted";
+  EXPECT_EQ(res.bytes_hit, g.bytes_hit) << "byte hits drifted";
+  // Warm-up split: exactly floor(0.2 * 40000) requests excluded.
+  EXPECT_EQ(res.warm_requests, 32'000u);
+  EXPECT_EQ(res.warm_hits, g.warm_hits) << "warm object hits drifted";
+  EXPECT_EQ(res.warm_bytes_hit, g.warm_bytes_hit) << "warm byte hits drifted";
+  EXPECT_EQ(res.window_miss_ratios.size(), 4u);
+}
+
+TEST_P(GoldenMasterPolicy, ReRunIsBitwiseIdentical) {
+  const Golden& g = GetParam();
+  auto c1 = make_cache(g.policy, kCapacity);
+  auto c2 = make_cache(g.policy, kCapacity);
+  const auto r1 = simulate(*c1, golden_trace(), golden_options());
+  const auto r2 = simulate(*c2, golden_trace(), golden_options());
+  EXPECT_TRUE(deterministic_equal(r1, r2));
+  EXPECT_EQ(r1.window_miss_ratios, r2.window_miss_ratios);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GoldenMasterPolicy,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           std::string name = info.param.policy;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cdn

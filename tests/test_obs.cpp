@@ -1,0 +1,469 @@
+// Tests for the observability subsystem (src/obs): the JSON layer, the
+// metric primitives and registry, exporters and sinks, the bench-report
+// schema, and the end-to-end policy introspection path through simulate()
+// — including the SCIP MAB-probability invariant (each exported expert
+// pair is a distribution: it sums to 1 in every window).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "trace/generator.hpp"
+
+namespace cdn {
+namespace {
+
+using obs::json::Value;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ObsJson, WriteParseRoundTrip) {
+  Value doc{obs::json::Object{}};
+  doc.set("name", "SCIP");
+  doc.set("count", std::uint64_t{42});
+  doc.set("ratio", 0.0625);
+  doc.set("flag", true);
+  doc.set("nothing", nullptr);
+  doc.set("arr", Value{obs::json::Array{Value{1}, Value{2.5}, Value{"x"}}});
+  Value nested{obs::json::Object{}};
+  nested.set("k", "v");
+  doc.set("obj", std::move(nested));
+
+  for (const int indent : {0, 2}) {
+    const std::string text = doc.dump(indent);
+    std::string err;
+    const auto parsed = obs::json::parse(text, &err);
+    ASSERT_TRUE(parsed.has_value()) << err << "\n" << text;
+    // Re-dumping the parse result must reproduce the compact text exactly
+    // (member order is preserved, numbers round-trip).
+    EXPECT_EQ(parsed->dump(), doc.dump());
+  }
+  EXPECT_EQ(doc.find("name")->as_string(), "SCIP");
+  EXPECT_DOUBLE_EQ(doc.find("ratio")->as_number(), 0.0625);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ObsJson, RoundTripsExtremeDoubles) {
+  Value doc{obs::json::Object{}};
+  doc.set("tiny", 1.0 / 3.0);
+  doc.set("big", 1.2345678901234567e+250);
+  doc.set("neg", -9.876543210987654e-30);
+  const auto parsed = obs::json::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("tiny")->as_number(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(parsed->find("big")->as_number(), 1.2345678901234567e+250);
+  EXPECT_DOUBLE_EQ(parsed->find("neg")->as_number(), -9.876543210987654e-30);
+}
+
+TEST(ObsJson, EscapesStrings) {
+  Value doc{obs::json::Object{}};
+  doc.set("s", "a\"b\\c\nd\te\x01");
+  const std::string text = doc.dump();
+  const auto parsed = obs::json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("s")->as_string(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(ObsJson, NonFiniteNumbersSerializeAsNull) {
+  Value doc{obs::json::Object{}};
+  doc.set("nan", std::nan(""));
+  const auto parsed = obs::json::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->find("nan")->is_null());
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "{\"a\":1,}",
+        "\"unterminated", "{'a':1}", "[01x]"}) {
+    std::string err;
+    EXPECT_FALSE(obs::json::parse(bad, &err).has_value())
+        << "accepted: " << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(ObsJson, SetReplacesExistingKey) {
+  Value doc{obs::json::Object{}};
+  doc.set("k", 1);
+  doc.set("k", 2);
+  EXPECT_EQ(doc.as_object().size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.find("k")->as_number(), 2.0);
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(ObsMetrics, PrimitivesBehave) {
+  obs::Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.raise_to(3);  // no-op: counters never regress
+  EXPECT_EQ(c.value(), 5u);
+  c.raise_to(10);
+  EXPECT_EQ(c.value(), 10u);
+
+  obs::Gauge g;
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+
+  obs::WindowedSeries s;
+  s.push(0.5);
+  s.push(0.25);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.samples()[1], 0.25);
+}
+
+TEST(ObsMetrics, RegistryGetOrCreateIsStable) {
+  obs::MetricRegistry reg;
+  obs::Counter& c1 = reg.counter("a.count");
+  c1.add(7);
+  EXPECT_EQ(reg.counter("a.count").value(), 7u);
+  reg.series("a.series").push(1.0);
+  reg.series("a.series").push(2.0);
+  EXPECT_EQ(reg.all_series().at("a.series").size(), 2u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(ObsMetrics, JsonDocumentValidatesAndRoundTrips) {
+  obs::MetricRegistry reg;
+  reg.set_label("policy", "SCIP");
+  reg.set_label("trace", "CDN-T");
+  reg.counter("scip.overrides").add(3);
+  reg.gauge("sim.metadata_peak_bytes").set(1024.0);
+  reg.series("scip.lambda").push(0.3);
+  reg.series("scip.lambda").push(0.29);
+
+  const std::string text = obs::to_json(reg);
+  std::string err;
+  const auto doc = obs::json::parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(obs::validate_metrics_document(*doc), "");
+  EXPECT_EQ(doc->find("labels")->find("policy")->as_string(), "SCIP");
+  EXPECT_DOUBLE_EQ(doc->find("counters")->find("scip.overrides")->as_number(),
+                   3.0);
+  ASSERT_EQ(doc->find("series")->find("scip.lambda")->as_array().size(), 2u);
+}
+
+TEST(ObsMetrics, ValidatorRejectsBrokenDocuments) {
+  const auto expect_invalid = [](const char* text) {
+    const auto doc = obs::json::parse(text);
+    ASSERT_TRUE(doc.has_value()) << text;
+    EXPECT_NE(obs::validate_metrics_document(*doc), "") << text;
+  };
+  expect_invalid("[]");
+  expect_invalid(R"({"schema":"nope","version":1})");
+  expect_invalid(
+      R"({"schema":"cdn-metrics","version":1,"labels":{},"counters":{},)"
+      R"("gauges":{}})");  // missing series
+  expect_invalid(
+      R"({"schema":"cdn-metrics","version":1,"labels":{},)"
+      R"("counters":{"c":-1},"gauges":{},"series":{}})");
+  expect_invalid(
+      R"({"schema":"cdn-metrics","version":1,"labels":{},"counters":{},)"
+      R"("gauges":{},"series":{"s":[1,"x"]}})");
+}
+
+TEST(ObsMetrics, CsvExports) {
+  obs::MetricRegistry reg;
+  reg.set_label("policy", "LRU");
+  reg.counter("n").add(2);
+  reg.gauge("g").set(0.5);
+  reg.series("a").push(1.0);
+  reg.series("a").push(2.0);
+  reg.series("b").push(3.0);  // ragged: one sample shorter
+
+  const std::string csv = obs::series_csv(reg);
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_EQ(line, "window,a,b");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "0,1,3");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "1,2,");  // padded empty cell
+  EXPECT_FALSE(std::getline(lines, line));
+
+  const std::string scalars = obs::scalars_csv(reg);
+  EXPECT_NE(scalars.find("label,policy,LRU\n"), std::string::npos);
+  EXPECT_NE(scalars.find("counter,n,2\n"), std::string::npos);
+  EXPECT_NE(scalars.find("gauge,g,0.5\n"), std::string::npos);
+}
+
+// --------------------------------------------------------------- sinks --
+
+TEST(ObsSink, CollectingSinkStoresDocuments) {
+  obs::CollectingSink sink;
+  obs::MetricRegistry reg;
+  reg.counter("c").add(1);
+  sink.consume(reg);
+  sink.consume(reg);
+  ASSERT_EQ(sink.count(), 2u);
+  const auto parsed = obs::json::parse(sink.documents()[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(obs::validate_metrics_document(*parsed), "");
+}
+
+TEST(ObsSink, JsonLinesSinkAppendsOneDocPerLine) {
+  const std::string path = ::testing::TempDir() + "obs_sink_test.jsonl";
+  {
+    obs::JsonLinesSink sink(path);
+    obs::MetricRegistry reg;
+    reg.set_label("policy", "LRU");
+    sink.consume(reg);
+    reg.counter("c").add(1);
+    sink.consume(reg);
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(f, line)) {
+    const auto doc = obs::json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(obs::validate_metrics_document(*doc), "");
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- bench report --
+
+TEST(ObsBenchReport, DocumentValidatesAndWrites) {
+  SimResult r;
+  r.policy = "SCIP";
+  r.trace = "CDN-T";
+  r.requests = 1000;
+  r.hits = 600;
+  r.bytes_total = 5000;
+  r.bytes_hit = 2500;
+  r.warm_requests = 800;
+  r.warm_hits = 520;
+  r.warm_bytes_total = 4000;
+  r.warm_bytes_hit = 2100;
+  r.wall_seconds = 0.5;
+  r.metadata_peak_bytes = 4096;
+
+  obs::BenchReport report("fig_test");
+  report.add_row(sim_result_row(r));
+  EXPECT_EQ(report.rows(), 1u);
+  EXPECT_EQ(report.file_name(), "BENCH_fig_test.json");
+  EXPECT_EQ(obs::validate_bench_report(report.document()), "");
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(report.write(dir));
+  std::ifstream f(dir + "/BENCH_fig_test.json");
+  ASSERT_TRUE(f.is_open());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const auto doc = obs::json::parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(obs::validate_bench_report(*doc), "");
+  const auto& row = doc->find("rows")->as_array().at(0);
+  EXPECT_EQ(row.find("policy")->as_string(), "SCIP");
+  EXPECT_DOUBLE_EQ(row.find("tps")->as_number(), 2000.0);
+  EXPECT_DOUBLE_EQ(row.find("object_miss_ratio")->as_number(), 0.4);
+  std::remove((dir + "/BENCH_fig_test.json").c_str());
+}
+
+TEST(ObsBenchReport, ValidatorRejectsBrokenReports) {
+  const auto expect_invalid = [](const char* text) {
+    const auto doc = obs::json::parse(text);
+    ASSERT_TRUE(doc.has_value()) << text;
+    EXPECT_NE(obs::validate_bench_report(*doc), "") << text;
+  };
+  expect_invalid(R"({"schema":"cdn-bench-report","version":1,"bench":"x"})");
+  expect_invalid(
+      R"({"schema":"cdn-bench-report","version":1,"bench":"","rows":[]})");
+  // A row missing tps.
+  expect_invalid(
+      R"({"schema":"cdn-bench-report","version":1,"bench":"x","rows":[)"
+      R"({"policy":"LRU","trace":"t","requests":1,"object_miss_ratio":0.1,)"
+      R"("byte_miss_ratio":0.1,"warm_object_miss_ratio":0.1,)"
+      R"("warm_byte_miss_ratio":0.1,"metadata_peak_bytes":1}]})");
+  // A miss ratio above 1.
+  expect_invalid(
+      R"({"schema":"cdn-bench-report","version":1,"bench":"x","rows":[)"
+      R"({"policy":"LRU","trace":"t","requests":1,"tps":1,)"
+      R"("object_miss_ratio":1.5,"byte_miss_ratio":0.1,)"
+      R"("warm_object_miss_ratio":0.1,"warm_byte_miss_ratio":0.1,)"
+      R"("metadata_peak_bytes":1}]})");
+}
+
+// ------------------------------------------ end-to-end introspection ----
+
+Trace small_trace(std::uint64_t seed = 7) {
+  WorkloadSpec spec;
+  spec.name = "obs-test";
+  spec.seed = seed;
+  spec.n_requests = 30'000;
+  spec.catalog_size = 3'000;
+  spec.p_onehit = 0.25;
+  spec.p_burst = 0.1;
+  spec.mean_size = 4'000;
+  spec.max_size = 256 * 1024;
+  return generate_trace(spec);
+}
+
+SimOptions collect_options() {
+  SimOptions opts;
+  opts.window = 5'000;
+  opts.collect_policy_metrics = true;
+  return opts;
+}
+
+TEST(ObsIntrospection, ScipProbabilitySeriesSumToOnePerWindow) {
+  const Trace t = small_trace();
+  auto cache = make_cache("SCIP", 4ULL << 20);
+  const auto res = simulate(*cache, t, collect_options());
+
+  ASSERT_FALSE(res.metrics_json.empty());
+  std::string err;
+  const auto doc = obs::json::parse(res.metrics_json, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  ASSERT_EQ(obs::validate_metrics_document(*doc), "");
+
+  const auto* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  const std::size_t windows = res.window_miss_ratios.size();
+  ASSERT_GT(windows, 1u);
+  for (const auto& [pair_mru, pair_lru] :
+       {std::pair{"scip.p_mru_insert", "scip.p_lru_insert"},
+        std::pair{"scip.p_mru_promote", "scip.p_lru_promote"}}) {
+    const auto* mru = series->find(pair_mru);
+    const auto* lru = series->find(pair_lru);
+    ASSERT_NE(mru, nullptr) << pair_mru;
+    ASSERT_NE(lru, nullptr) << pair_lru;
+    ASSERT_EQ(mru->as_array().size(), windows);
+    ASSERT_EQ(lru->as_array().size(), windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double p_mru = mru->as_array()[w].as_number();
+      const double p_lru = lru->as_array()[w].as_number();
+      EXPECT_GE(p_mru, 0.0);
+      EXPECT_LE(p_mru, 1.0);
+      // The MAB's two-expert probabilities are a distribution per window.
+      EXPECT_DOUBLE_EQ(p_mru + p_lru, 1.0) << pair_mru << " window " << w;
+    }
+  }
+  // The demotion-fraction series is aligned and within [0, 1].
+  const auto* dem = series->find("scip.window_demotion_fraction");
+  ASSERT_NE(dem, nullptr);
+  ASSERT_EQ(dem->as_array().size(), windows);
+  for (const auto& v : dem->as_array()) {
+    EXPECT_GE(v.as_number(), 0.0);
+    EXPECT_LE(v.as_number(), 1.0);
+  }
+}
+
+TEST(ObsIntrospection, SimSeriesMirrorsWindowMissRatios) {
+  const Trace t = small_trace();
+  auto cache = make_cache("LRU", 4ULL << 20);
+  const auto res = simulate(*cache, t, collect_options());
+  const auto doc = obs::json::parse(res.metrics_json);
+  ASSERT_TRUE(doc.has_value());
+  const auto* s = doc->find("series")->find("sim.window_miss_ratio");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->as_array().size(), res.window_miss_ratios.size());
+  for (std::size_t i = 0; i < res.window_miss_ratios.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s->as_array()[i].as_number(), res.window_miss_ratios[i]);
+  }
+  const auto* counters = doc->find("counters");
+  EXPECT_DOUBLE_EQ(counters->find("sim.hits")->as_number(),
+                   static_cast<double>(res.hits));
+  EXPECT_DOUBLE_EQ(counters->find("sim.requests")->as_number(),
+                   static_cast<double>(res.requests));
+}
+
+TEST(ObsIntrospection, CollectionDoesNotPerturbSimulation) {
+  const Trace t = small_trace();
+  auto plain_cache = make_cache("SCIP", 4ULL << 20);
+  const auto plain = simulate(*plain_cache, t, {.window = 5'000});
+  auto observed_cache = make_cache("SCIP", 4ULL << 20);
+  const auto observed = simulate(*observed_cache, t, collect_options());
+  EXPECT_EQ(plain.hits, observed.hits);
+  EXPECT_EQ(plain.bytes_hit, observed.bytes_hit);
+  EXPECT_EQ(plain.window_miss_ratios, observed.window_miss_ratios);
+  EXPECT_TRUE(plain.metrics_json.empty());
+}
+
+TEST(ObsIntrospection, StructuredPoliciesExportOccupancySplits) {
+  const Trace t = small_trace();
+  const struct {
+    const char* policy;
+    const char* series;
+  } cases[] = {
+      {"ASC-IP", "ascip.threshold"},
+      {"SCI", "scip.p_mru_insert"},
+      {"LRU-2", "lruk.band0_objects"},
+      {"S4LRU", "s4lru.seg3_bytes"},
+      {"LIRS", "lirs.lir_bytes"},
+  };
+  for (const auto& c : cases) {
+    auto cache = make_cache(c.policy, 4ULL << 20);
+    const auto res = simulate(*cache, t, collect_options());
+    const auto doc = obs::json::parse(res.metrics_json);
+    ASSERT_TRUE(doc.has_value()) << c.policy;
+    ASSERT_EQ(obs::validate_metrics_document(*doc), "") << c.policy;
+    const auto* s = doc->find("series")->find(c.series);
+    ASSERT_NE(s, nullptr) << c.policy << " missing " << c.series;
+    EXPECT_EQ(s->as_array().size(), res.window_miss_ratios.size())
+        << c.policy;
+  }
+}
+
+TEST(ObsIntrospection, S4LruSegmentsPartitionResidency) {
+  const Trace t = small_trace();
+  auto cache = make_cache("S4LRU", 4ULL << 20);
+  const auto res = simulate(*cache, t, collect_options());
+  const auto doc = obs::json::parse(res.metrics_json);
+  ASSERT_TRUE(doc.has_value());
+  const auto* series = doc->find("series");
+  const std::size_t windows = res.window_miss_ratios.size();
+  for (std::size_t w = 0; w < windows; ++w) {
+    double total = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      const auto* s =
+          series->find("s4lru.seg" + std::to_string(i) + "_bytes");
+      ASSERT_NE(s, nullptr);
+      total += s->as_array()[w].as_number();
+    }
+    // Segments partition the resident bytes; the cache never overfills.
+    EXPECT_LE(total, static_cast<double>(4ULL << 20));
+    EXPECT_DOUBLE_EQ(
+        total, series->find("sim.used_bytes")->as_array()[w].as_number());
+  }
+}
+
+TEST(ObsIntrospection, SinkReceivesEverySweepJob) {
+  const Trace t = small_trace();
+  obs::CollectingSink sink;
+  SimOptions opts = collect_options();
+  opts.metrics_sink = &sink;
+  std::vector<SweepJob> jobs;
+  for (const char* name : {"LRU", "SCIP", "S4LRU", "LIRS"}) {
+    jobs.push_back(SweepJob{
+        [name] { return make_cache(name, 4ULL << 20); }, &t, opts});
+  }
+  const auto results = run_sweep(jobs, 4);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(sink.count(), 4u);
+  for (const auto& text : sink.documents()) {
+    const auto doc = obs::json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(obs::validate_metrics_document(*doc), "");
+  }
+}
+
+}  // namespace
+}  // namespace cdn

@@ -47,6 +47,63 @@ TEST(Simulator, WarmupSplit) {
   EXPECT_EQ(res.warm_hits, 2u);
 }
 
+TEST(Simulator, WarmupCountIsExactFloor) {
+  // The contract: exactly floor(warmup_frac * N) requests are excluded.
+  // Fractions like 0.7 are not representable in binary; a raw double floor
+  // of 0.7 * 10 lands on 6 — warmup_request_count must land on 7.
+  EXPECT_EQ(warmup_request_count(0.0, 100), 0u);
+  EXPECT_EQ(warmup_request_count(0.2, 5), 1u);
+  EXPECT_EQ(warmup_request_count(0.2, 40'000), 8'000u);
+  EXPECT_EQ(warmup_request_count(0.7, 10), 7u);
+  EXPECT_EQ(warmup_request_count(0.3, 10), 3u);
+  EXPECT_EQ(warmup_request_count(0.1, 1'000'000), 100'000u);
+  EXPECT_EQ(warmup_request_count(0.7, 1'000'003), 700'002u);  // floor(700002.1)
+  EXPECT_EQ(warmup_request_count(0.25, 7), 1u);               // floor(1.75)
+  EXPECT_EQ(warmup_request_count(1.0, 42), 42u);
+  EXPECT_EQ(warmup_request_count(1.5, 42), 42u);   // clamped
+  EXPECT_EQ(warmup_request_count(-0.5, 42), 0u);   // clamped
+  EXPECT_EQ(warmup_request_count(0.5, 0), 0u);
+}
+
+TEST(Simulator, WarmupBoundaryExcludesExactlyFloorRequests) {
+  // 10 requests, warmup_frac = 0.7: requests 0-6 are warm-up, 7-9 counted.
+  // Request ids are distinct so every access is a miss with size = index+1,
+  // making the warm byte count identify exactly which requests were kept.
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    t.requests.push_back(
+        {i, static_cast<std::uint64_t>(100 + i),
+         static_cast<std::uint64_t>(i + 1), -1});
+  }
+  LruCache cache(1 << 20);
+  const auto res = simulate(cache, t, {.warmup_frac = 0.7});
+  EXPECT_EQ(res.warm_requests, 3u);
+  EXPECT_EQ(res.warm_bytes_total, 8u + 9u + 10u);
+  EXPECT_EQ(res.requests, 10u);
+  EXPECT_EQ(res.bytes_total, 55u);
+}
+
+TEST(Simulator, WindowSeriesCoversFinalPartialWindow) {
+  LruCache cache(1 << 20);
+  Trace t;
+  // 7 distinct objects: all misses, so every window miss ratio is exactly 1.
+  for (int i = 0; i < 7; ++i) {
+    t.requests.push_back({i, static_cast<std::uint64_t>(i), 1, -1});
+  }
+  const auto res = simulate(cache, t, {.window = 3, .warmup_frac = 0.0});
+  // 3 + 3 + 1: the trailing partial window must be reported too.
+  ASSERT_EQ(res.window_miss_ratios.size(), 3u);
+  for (const double m : res.window_miss_ratios) {
+    EXPECT_DOUBLE_EQ(m, 1.0);
+  }
+  // Exact multiple: no empty trailing window is emitted.
+  LruCache cache2(1 << 20);
+  Trace t6;
+  t6.requests.assign(t.requests.begin(), t.requests.begin() + 6);
+  const auto res6 = simulate(cache2, t6, {.window = 3, .warmup_frac = 0.0});
+  EXPECT_EQ(res6.window_miss_ratios.size(), 2u);
+}
+
 TEST(Simulator, WindowSeries) {
   LruCache cache(1 << 20);
   Trace t;

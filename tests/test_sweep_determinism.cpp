@@ -1,0 +1,92 @@
+// Sweep-determinism test: run_sweep() over the same job grid with 1, 2 and
+// 8 worker threads must produce identical SimResults in job order — the
+// "each job builds its own cache inside the worker, no shared mutable
+// state" contract stated in src/sim/sweep.hpp. Identity is checked in
+// every deterministic field, including the exact double window series and
+// the serialized metrics blob; only wall/CPU timing may differ.
+//
+// This is the test that would catch a future optimization sneaking shared
+// caches, a global RNG, or cross-thread metric aggregation into the sweep.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/sweep.hpp"
+#include "trace/generator.hpp"
+
+namespace cdn {
+namespace {
+
+const Trace& grid_trace() {
+  static const Trace t = [] {
+    WorkloadSpec spec = cdn_w_like(0.02);
+    spec.name = "sweep-grid";
+    return generate_trace(spec);
+  }();
+  return t;
+}
+
+std::vector<SweepJob> job_grid() {
+  std::vector<SweepJob> jobs;
+  SimOptions opts;
+  opts.window = 2'000;
+  opts.collect_policy_metrics = true;  // metrics blobs must be identical too
+  for (const char* name :
+       {"SCIP", "SCI", "ASC-IP", "LRU", "S4LRU", "LIRS", "LRU-2", "BIP"}) {
+    for (const std::uint64_t cap : {2ULL << 20, 8ULL << 20}) {
+      jobs.push_back(SweepJob{
+          [name, cap] { return make_cache(name, cap); }, &grid_trace(),
+          opts});
+    }
+  }
+  return jobs;
+}
+
+TEST(SweepDeterminism, ThreadCountDoesNotChangeResults) {
+  const auto jobs = job_grid();
+  const auto r1 = run_sweep(jobs, 1);
+  const auto r2 = run_sweep(jobs, 2);
+  const auto r8 = run_sweep(jobs, 8);
+  ASSERT_EQ(r1.size(), jobs.size());
+  ASSERT_EQ(r2.size(), jobs.size());
+  ASSERT_EQ(r8.size(), jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i) + " (" + r1[i].policy + ")");
+    EXPECT_TRUE(deterministic_equal(r1[i], r2[i]));
+    EXPECT_TRUE(deterministic_equal(r1[i], r8[i]));
+    // Bitwise double equality on the window series, not an epsilon: the
+    // computation must be identical, not merely close.
+    ASSERT_EQ(r1[i].window_miss_ratios.size(),
+              r8[i].window_miss_ratios.size());
+    for (std::size_t w = 0; w < r1[i].window_miss_ratios.size(); ++w) {
+      EXPECT_EQ(r1[i].window_miss_ratios[w], r8[i].window_miss_ratios[w]);
+    }
+    EXPECT_EQ(r1[i].metrics_json, r8[i].metrics_json);
+    EXPECT_FALSE(r1[i].metrics_json.empty());
+  }
+}
+
+TEST(SweepDeterminism, MatchesSerialSimulate) {
+  auto jobs = job_grid();
+  jobs.resize(4);  // keep the serial reference pass cheap
+  const auto swept = run_sweep(jobs, 8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto cache = jobs[i].make_cache();
+    const auto serial = simulate(*cache, *jobs[i].trace, jobs[i].options);
+    SCOPED_TRACE("job " + std::to_string(i) + " (" + serial.policy + ")");
+    EXPECT_TRUE(deterministic_equal(swept[i], serial));
+  }
+}
+
+TEST(SweepDeterminism, RepeatedSweepsAreIdentical) {
+  auto jobs = job_grid();
+  jobs.resize(6);
+  const auto a = run_sweep(jobs, 3);
+  const auto b = run_sweep(jobs, 3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(deterministic_equal(a[i], b[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cdn

@@ -1,0 +1,193 @@
+// Statistical tests for the trace substrate.
+//
+// 1. Chi-square goodness-of-fit of the Zipf sampler against its analytic
+//    PMF — the sampler is the popularity engine under every synthetic
+//    workload, so a biased CDF/binary-search would silently skew every
+//    figure reproduction.
+// 2. Distribution checks for the CDN-T/W/A generators: size quantiles,
+//    unique-object fraction and one-hit-wonder structure, pinning the
+//    qualitative Table-1 contracts the paper's argument rests on (CDN-A
+//    most one-hit heavy, CDN-W a small heavily-reused catalog).
+//
+// All draws use fixed seeds, so these are deterministic; the chi-square
+// acceptance threshold is still set at the analytic p=0.001 critical value
+// so the test doubles as a genuine GOF test if the sampler or RNG changes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cdn {
+namespace {
+
+/// Pearson chi-square statistic of `draws` samples from `z` against its
+/// analytic PMF, over all n ranks.
+double zipf_chi_square(const ZipfSampler& z, std::size_t draws,
+                       std::uint64_t seed, double* min_expected = nullptr) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> counts(z.n(), 0);
+  for (std::size_t i = 0; i < draws; ++i) ++counts[z.sample(rng)];
+  double chi2 = 0.0;
+  double min_exp = static_cast<double>(draws);
+  for (std::size_t r = 0; r < z.n(); ++r) {
+    const double expected = static_cast<double>(draws) * z.pmf(r);
+    min_exp = std::min(min_exp, expected);
+    const double d = static_cast<double>(counts[r]) - expected;
+    chi2 += d * d / expected;
+  }
+  if (min_expected) *min_expected = min_exp;
+  return chi2;
+}
+
+// Critical value of chi-square with 99 degrees of freedom at p = 0.001.
+constexpr double kChi2Crit99DofP001 = 148.23;
+
+TEST(ZipfSampler, ChiSquareMatchesAnalyticPmf) {
+  for (const double alpha : {0.0, 0.8, 1.2}) {
+    ZipfSampler z(100, alpha);
+    double min_expected = 0.0;
+    const double chi2 = zipf_chi_square(z, 200'000, 123, &min_expected);
+    // Every cell is well-populated, so the chi-square approximation holds.
+    EXPECT_GE(min_expected, 100.0) << "alpha=" << alpha;
+    EXPECT_LT(chi2, kChi2Crit99DofP001) << "alpha=" << alpha;
+  }
+}
+
+TEST(ZipfSampler, PmfIsANormalizedDecreasingPowerLaw) {
+  const double alpha = 0.9;
+  ZipfSampler z(1'000, alpha);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < z.n(); ++r) {
+    sum += z.pmf(r);
+    if (r > 0) {
+      EXPECT_LE(z.pmf(r), z.pmf(r - 1)) << "rank " << r;
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Rank-r mass follows 1/(r+1)^alpha: check the rank-0 : rank-1 ratio.
+  EXPECT_NEAR(z.pmf(0) / z.pmf(1), std::pow(2.0, alpha), 1e-9);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  ZipfSampler z(50, 0.0);
+  for (std::size_t r = 0; r < z.n(); ++r) {
+    EXPECT_NEAR(z.pmf(r), 1.0 / 50.0, 1e-12);
+  }
+}
+
+// ------------------------------------------------ generator structure --
+
+struct GenCase {
+  WorkloadSpec spec;
+  TraceStats stats;
+  std::vector<std::uint64_t> sorted_sizes;
+
+  [[nodiscard]] std::uint64_t quantile(double f) const {
+    return sorted_sizes[static_cast<std::size_t>(
+        f * static_cast<double>(sorted_sizes.size() - 1))];
+  }
+  [[nodiscard]] double unique_fraction() const {
+    return static_cast<double>(stats.unique_objects) /
+           static_cast<double>(stats.total_requests);
+  }
+};
+
+GenCase build_case(WorkloadSpec spec) {
+  GenCase c;
+  c.spec = std::move(spec);
+  const Trace t = generate_trace(c.spec);
+  c.stats = compute_stats(t);
+  c.sorted_sizes.reserve(t.requests.size());
+  for (const auto& r : t.requests) c.sorted_sizes.push_back(r.size);
+  std::sort(c.sorted_sizes.begin(), c.sorted_sizes.end());
+  return c;
+}
+
+class GeneratorDistributions : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.05;
+  static const GenCase& cdn_t() {
+    static const GenCase c = build_case(cdn_t_like(kScale));
+    return c;
+  }
+  static const GenCase& cdn_w() {
+    static const GenCase c = build_case(cdn_w_like(kScale));
+    return c;
+  }
+  static const GenCase& cdn_a() {
+    static const GenCase c = build_case(cdn_a_like(kScale));
+    return c;
+  }
+};
+
+TEST_F(GeneratorDistributions, SizesRespectBoundsAndQuantileShape) {
+  for (const GenCase* c : {&cdn_t(), &cdn_w(), &cdn_a()}) {
+    SCOPED_TRACE(c->spec.name);
+    EXPECT_EQ(c->stats.total_requests, c->spec.n_requests);
+    EXPECT_GE(c->stats.min_object_size, c->spec.min_size);
+    EXPECT_LE(c->stats.max_object_size, c->spec.max_size);
+    // Log-normal body: the median sits well below the mean, and the
+    // quantiles are strictly spread (heavy right tail).
+    const auto p50 = c->quantile(0.50);
+    const auto p90 = c->quantile(0.90);
+    const auto p99 = c->quantile(0.99);
+    EXPECT_GT(p50, 4'000u);
+    EXPECT_LT(p50, 50'000u);
+    EXPECT_GT(p90, p50 * 3);
+    EXPECT_GT(p99, p90 * 2);
+    EXPECT_LT(static_cast<double>(p50), c->stats.mean_object_size);
+    EXPECT_GT(c->stats.mean_object_size, 20'000.0);
+    EXPECT_LT(c->stats.mean_object_size, 80'000.0);
+  }
+}
+
+TEST_F(GeneratorDistributions, UniqueObjectFractionsMatchWorkloadRoles) {
+  // CDN-W: small, heavily reused catalog — few uniques, many requests per
+  // object. CDN-A: one-hit-wonder dominated — most ids appear once.
+  EXPECT_LT(cdn_w().unique_fraction(), 0.20);
+  EXPECT_GT(cdn_a().unique_fraction(), 0.70);
+  EXPECT_GT(cdn_t().unique_fraction(), 0.45);
+  EXPECT_LT(cdn_t().unique_fraction(), 0.75);
+  EXPECT_GT(cdn_w().stats.mean_requests_per_object, 5.0);
+  EXPECT_LT(cdn_a().stats.mean_requests_per_object, 1.6);
+}
+
+TEST_F(GeneratorDistributions, OneHitWonderOrderingMatchesPaper) {
+  const double t = cdn_t().stats.one_hit_fraction;
+  const double w = cdn_w().stats.one_hit_fraction;
+  const double a = cdn_a().stats.one_hit_fraction;
+  // CDN-A has the largest ZRO share among misses; CDN-W the smallest of
+  // the three (its structure is P-ZRO-heavy instead: reuse then death).
+  EXPECT_GT(a, t);
+  EXPECT_GT(t, w);
+  EXPECT_GT(a, 0.8);
+  EXPECT_GT(w, 0.5);
+  EXPECT_LT(w, 0.8);
+}
+
+TEST_F(GeneratorDistributions, GenerationIsDeterministicInSeed) {
+  const Trace t1 = generate_trace(cdn_t_like(0.01));
+  const Trace t2 = generate_trace(cdn_t_like(0.01));
+  ASSERT_EQ(t1.requests.size(), t2.requests.size());
+  for (std::size_t i = 0; i < t1.requests.size(); ++i) {
+    ASSERT_EQ(t1.requests[i].id, t2.requests[i].id) << i;
+    ASSERT_EQ(t1.requests[i].size, t2.requests[i].size) << i;
+  }
+  WorkloadSpec other = cdn_t_like(0.01);
+  other.seed ^= 0xdeadbeef;
+  const Trace t3 = generate_trace(other);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < t1.requests.size(); ++i) {
+    diff += t1.requests[i].id != t3.requests[i].id;
+  }
+  EXPECT_GT(diff, t1.requests.size() / 2);
+}
+
+}  // namespace
+}  // namespace cdn
