@@ -31,7 +31,7 @@ class DgipprCache final : public Cache {
   [[nodiscard]] std::string name() const override { return "DGIPPR"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
-    return level_.count(id) != 0;
+    return level_.contains(id);
   }
   [[nodiscard]] std::uint64_t used_bytes() const override;
   [[nodiscard]] std::uint64_t metadata_bytes() const override;

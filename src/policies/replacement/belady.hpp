@@ -24,7 +24,7 @@ class BeladyCache final : public Cache {
   [[nodiscard]] std::string name() const override { return "Belady"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
-    return objects_.count(id) != 0;
+    return objects_.contains(id);
   }
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return used_bytes_;

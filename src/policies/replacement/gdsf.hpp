@@ -19,7 +19,7 @@ class GdsfCache final : public Cache {
   [[nodiscard]] std::string name() const override { return "GDSF"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
-    return objects_.count(id) != 0;
+    return objects_.contains(id);
   }
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return used_bytes_;

@@ -83,7 +83,7 @@ void GlCache::maybe_train() {
 
 void GlCache::evict_segment() {
   // Prune already-removed ids from the order queue front.
-  while (!seg_order_.empty() && !segments_.count(seg_order_.front())) {
+  while (!seg_order_.empty() && !segments_.contains(seg_order_.front())) {
     seg_order_.pop_front();
   }
   if (seg_order_.empty()) return;

@@ -55,7 +55,7 @@ class GlCache final : public Cache {
   [[nodiscard]] std::string name() const override { return "GL-Cache"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
-    return objects_.count(id) != 0;
+    return objects_.contains(id);
   }
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return used_bytes_;

@@ -70,7 +70,7 @@ void LrbCache::fill_features(const ObjState& st, float* out) const {
 void LrbCache::maybe_sample(const Request& req, const ObjState& st) {
   if (params_.sample_every <= 0) return;
   if (tick_ % params_.sample_every != 0) return;
-  if (pending_.count(req.id)) return;
+  if (pending_.contains(req.id)) return;
   Pending p;
   p.sample_tick = tick_;
   fill_features(st, p.features.data());

@@ -21,7 +21,7 @@ class S4LruCache final : public Cache, public obs::Introspectable {
   [[nodiscard]] std::string name() const override { return "S4LRU"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
-    return level_.count(id) != 0;
+    return level_.contains(id);
   }
   [[nodiscard]] std::uint64_t used_bytes() const override;
   [[nodiscard]] std::uint64_t metadata_bytes() const override;

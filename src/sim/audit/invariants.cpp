@@ -132,7 +132,7 @@ AuditReport Inspector::check(const LruQueue& q, std::uint64_t capacity_bytes) {
       continue;
     }
     if (!dense_set.insert(d).second) c.fail("duplicate dense_ entry ", d);
-    if (!on_list.count(d)) {
+    if (!on_list.contains(d)) {
       c.fail("dense_ entry ", d, " is not on the linked list");
     }
   }
@@ -145,7 +145,7 @@ AuditReport Inspector::check(const LruQueue& q, std::uint64_t capacity_bytes) {
       continue;
     }
     if (!free_set.insert(f).second) c.fail("duplicate free_list_ entry ", f);
-    if (on_list.count(f)) {
+    if (on_list.contains(f)) {
       c.fail("slot ", f, " is both free-listed and on the linked list");
     }
   }

@@ -28,7 +28,7 @@ class GhostList {
 
   /// True if `id` is currently recorded.
   [[nodiscard]] bool contains(std::uint64_t id) const {
-    return index_.count(id) != 0;
+    return index_.contains(id);
   }
 
   /// Records an eviction; drops FIFO-oldest records to respect capacity.

@@ -53,7 +53,7 @@ class LruQueue {
   LruQueue() = default;
 
   [[nodiscard]] bool contains(std::uint64_t id) const {
-    return index_.count(id) != 0;
+    return index_.contains(id);
   }
   /// Returns the node for `id` or nullptr. The pointer is invalidated by any
   /// mutation of the queue.

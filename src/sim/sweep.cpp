@@ -13,6 +13,11 @@ std::vector<SimResult> run_sweep(const std::vector<SweepJob>& jobs,
       throw std::invalid_argument("run_sweep: incomplete job");
     }
   }
+  // Result-slot handoff: slot i is written by exactly one worker and read
+  // only after parallel_for returns. The futures inside parallel_for give
+  // the release/acquire edge (promise::set_value -> future::get), so no
+  // per-slot lock is needed; the TSan CI job pins this with
+  // test_sweep_determinism.
   std::vector<SimResult> results(jobs.size());
   ThreadPool pool(threads);
   pool.parallel_for(0, jobs.size(), [&](std::size_t i) {

@@ -6,10 +6,11 @@
 // so their locks serialize concurrent access to the same shard.
 #pragma once
 
-#include <mutex>
 #include <string>
 
 #include "sim/cache.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cdn::tdc {
 
@@ -19,22 +20,28 @@ class Node {
       : name_(std::move(name)), cache_(std::move(cache)) {}
 
   /// Thread-safe access. Returns true on hit.
-  bool access(const Request& req) {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool access(const Request& req) CDN_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return cache_->access(req);
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] std::uint64_t used_bytes() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::uint64_t used_bytes() const CDN_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return cache_->used_bytes();
   }
-  [[nodiscard]] std::uint64_t capacity() const { return cache_->capacity(); }
+  [[nodiscard]] std::uint64_t capacity() const CDN_EXCLUDES(mu_) {
+    // Capacity is immutable after construction, but the policy object is
+    // not const-thread-safe in general; take the (uncontended) lock rather
+    // than carve out an unchecked read path.
+    MutexLock lk(mu_);
+    return cache_->capacity();
+  }
 
  private:
   std::string name_;
-  CachePtr cache_;
-  mutable std::mutex mu_;
+  CachePtr cache_ CDN_PT_GUARDED_BY(mu_);
+  mutable Mutex mu_;
 };
 
 }  // namespace cdn::tdc

@@ -1,0 +1,62 @@
+// Clang thread-safety-analysis annotation macros (no-ops elsewhere).
+//
+// These wrap the `-Wthread-safety` attribute family so shared state can
+// declare its locking protocol in the type system: members say which mutex
+// guards them (CDN_GUARDED_BY), functions say which locks they need
+// (CDN_REQUIRES) or take/release (CDN_ACQUIRE / CDN_RELEASE), and clang
+// rejects any access path that violates the declared protocol at compile
+// time. GCC and MSVC see empty macros, so the annotations cost nothing
+// outside the clang CI job.
+//
+// The std::mutex in libstdc++ carries no capability attributes, so the
+// analysis cannot see through std::lock_guard / std::unique_lock. Use the
+// annotated cdn::Mutex / cdn::MutexLock / cdn::CondVar wrappers from
+// util/mutex.hpp instead of the raw std types for any state you annotate.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CDN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CDN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CDN_CAPABILITY(name) CDN_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define CDN_SCOPED_CAPABILITY CDN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member is readable/writable only while holding `mu`.
+#define CDN_GUARDED_BY(mu) CDN_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointer member whose *pointee* is protected by `mu` (the pointer itself
+/// may be read freely).
+#define CDN_PT_GUARDED_BY(mu) CDN_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Caller must hold `mu` (exclusively) when invoking this function.
+#define CDN_REQUIRES(...) \
+  CDN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires `mu` and holds it on return.
+#define CDN_ACQUIRE(...) \
+  CDN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases `mu` held on entry.
+#define CDN_RELEASE(...) \
+  CDN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the lock; `result` is the success return value.
+#define CDN_TRY_ACQUIRE(...) \
+  CDN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold `mu` (prevents self-deadlock on non-recursive
+/// mutexes).
+#define CDN_EXCLUDES(...) CDN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares the return value is a reference to the capability `mu`.
+#define CDN_RETURN_CAPABILITY(mu) CDN_THREAD_ANNOTATION(lock_returned(mu))
+
+/// Escape hatch: disables the analysis for one function. Each use must carry
+/// a comment justifying why the protocol cannot be expressed.
+#define CDN_NO_THREAD_SAFETY_ANALYSIS \
+  CDN_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -12,15 +12,16 @@
 //    delivered through the returned futures.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cdn {
 
@@ -37,12 +38,12 @@ class ThreadPool {
 
   /// Enqueues a callable; the future resolves with its result or exception.
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> CDN_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -55,13 +56,13 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() CDN_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ CDN_GUARDED_BY(mu_);
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ CDN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cdn

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Ratcheted clang-tidy gate: fails only on findings NOT recorded in the
+# checked-in baseline (tools/ci/clang_tidy_baseline.txt), so a PR is judged
+# on the findings it introduces, never on pre-existing ones. Findings are
+# normalized to "<relative-file> <check-id>" so line-number drift from
+# unrelated edits does not invalidate the baseline.
+#
+# usage: check_clang_tidy.sh BUILD_DIR [RUN_CLANG_TIDY_BIN]
+#   BUILD_DIR must contain compile_commands.json
+#   (cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: check_clang_tidy.sh BUILD_DIR [RUN_CLANG_TIDY_BIN]}
+RUNNER=${2:-run-clang-tidy}
+BASELINE=${BASELINE:-tools/ci/clang_tidy_baseline.txt}
+
+[ -f "$BUILD_DIR/compile_commands.json" ] || {
+  echo "check_clang_tidy: $BUILD_DIR/compile_commands.json missing" >&2
+  exit 2
+}
+
+log=$(mktemp)
+current=$(mktemp)
+baseline_sorted=$(mktemp)
+new=$(mktemp)
+trap 'rm -f "$log" "$current" "$baseline_sorted" "$new"' EXIT
+
+# The runner exits nonzero whenever any warning fires; the ratchet below is
+# what decides pass/fail, so swallow its exit code (but not a missing
+# binary, which the -version probe catches first).
+"$RUNNER" -version >/dev/null
+"$RUNNER" -quiet -p "$BUILD_DIR" 2>/dev/null >"$log" || true
+
+sed -E "s|^$(pwd)/||" "$log" \
+  | grep -E '^[^ ]+:[0-9]+:[0-9]+: warning: ' \
+  | sed -E 's/^([^:]+):[0-9]+:[0-9]+: warning: .*\[([A-Za-z0-9.,-]+)\]$/\1 \2/' \
+  | grep -v '/testdata/' \
+  | sort -u >"$current" || true
+
+# Baseline entries may carry trailing "# why" justifications; strip them
+# and comment/blank lines before comparing.
+sed -E 's/[[:space:]]*#.*$//' "$BASELINE" 2>/dev/null \
+  | grep -vE '^[[:space:]]*$' | sort -u >"$baseline_sorted" || true
+comm -13 "$baseline_sorted" "$current" >"$new"
+
+if [ -s "$new" ]; then
+  echo "clang-tidy: new findings not in $BASELINE:"
+  cat "$new"
+  echo
+  echo "Fix them (preferred), or — for accepted pre-existing debt only —"
+  echo "append the lines above to $BASELINE with a justification."
+  exit 1
+fi
+echo "clang-tidy: no new findings" \
+  "($(wc -l <"$current" | tr -d ' ') baselined/current)"

@@ -1,0 +1,468 @@
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace cdn::detlint {
+namespace {
+
+namespace fs = std::filesystem;
+namespace json = cdn::obs::json;
+
+bool path_matches_any(const std::string& rel,
+                      const std::vector<std::string>& fragments) {
+  for (const std::string& f : fragments) {
+    if (rel.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool is_header(const std::string& rel) {
+  return rel.size() >= 2 &&
+         (rel.rfind(".hpp") == rel.size() - 4 ||
+          rel.rfind(".h") == rel.size() - 2);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Produces a "code view" of the file: string/char literal contents, line
+// comments, and block comments are blanked out (lengths preserved so
+// columns and line numbers stay aligned). Rules match against this view,
+// which keeps prose like `// seeded, no random_device` from firing.
+std::vector<std::string> strip_noncode(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code = line;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      if (in_block) {
+        if (code.compare(i, 2, "*/") == 0 && i + 1 < code.size()) {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          i += 2;
+          in_block = false;
+        } else {
+          code[i++] = ' ';
+        }
+        continue;
+      }
+      const char c = code[i];
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+        for (std::size_t j = i; j < code.size(); ++j) code[j] = ' ';
+        break;
+      }
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+        code[i] = ' ';
+        code[i + 1] = ' ';
+        i += 2;
+        in_block = true;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        std::size_t j = i + 1;
+        while (j < code.size()) {
+          if (code[j] == '\\' && j + 1 < code.size()) {
+            code[j] = ' ';
+            code[j + 1] = ' ';
+            j += 2;
+            continue;
+          }
+          if (code[j] == quote) break;
+          code[j] = ' ';
+          ++j;
+        }
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+// Parses `detlint:allow(rule-a, rule-b)` comments. The suppression covers
+// the line it sits on and the line directly below (so it can ride above
+// the offending statement).
+std::vector<std::set<std::string>> allowed_rules_per_line(
+    const std::vector<std::string>& raw) {
+  static const std::regex kAllow(R"(detlint:allow\(([^)]*)\))");
+  std::vector<std::set<std::string>> allowed(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw[i], m, kAllow)) continue;
+    std::stringstream ss(m[1].str());
+    std::string id;
+    while (std::getline(ss, id, ',')) {
+      id = trim(id);
+      if (id.empty()) continue;
+      allowed[i].insert(id);
+      if (i + 1 < raw.size()) allowed[i + 1].insert(id);
+    }
+  }
+  return allowed;
+}
+
+// Collects identifiers declared in this file with an unordered container
+// type, e.g. `std::unordered_map<K, V> index_;`. Template arguments are
+// skipped with angle-bracket depth counting, so nested templates and
+// commas are handled.
+std::set<std::string> unordered_container_names(
+    const std::vector<std::string>& code) {
+  static const std::regex kDecl(R"(unordered_(map|set)\s*<)");
+  std::set<std::string> names;
+  for (const std::string& line : code) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDecl);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t pos = static_cast<std::size_t>(it->position()) +
+                        it->length();  // just past the '<'
+      int depth = 1;
+      while (pos < line.size() && depth > 0) {
+        if (line[pos] == '<') ++depth;
+        if (line[pos] == '>') --depth;
+        ++pos;
+      }
+      if (depth != 0) continue;  // declaration spans lines; skip
+      while (pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      std::string name;
+      while (pos < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+              line[pos] == '_')) {
+        name.push_back(line[pos++]);
+      }
+      while (pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      // Variable declarations end in ; = { ( — a bare `>` type in a
+      // template parameter list or return type does not.
+      if (!name.empty() && pos < line.size() &&
+          (line[pos] == ';' || line[pos] == '=' || line[pos] == '{' ||
+           line[pos] == '(')) {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+// Returns the identifier a range-for iterates, for `for (decl : expr)`
+// forms where expr ends in an identifier (`m_`, `obj.m_`, `*p.m_`).
+// Returns "" if the line is not a single-line range-for.
+std::string range_for_target(const std::string& code) {
+  static const std::regex kFor(R"(\bfor\s*\()");
+  std::smatch fm;
+  if (!std::regex_search(code, fm, kFor)) return "";
+  const std::size_t open =
+      static_cast<std::size_t>(fm.position()) + fm.length() - 1;
+  int depth = 1;
+  std::size_t colon = std::string::npos;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open + 1; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') {
+      --depth;
+      if (depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (c == ':' && depth == 1) {
+      const bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
+                       (i > 0 && code[i - 1] == ':');
+      if (!dbl && colon == std::string::npos) colon = i;
+    }
+  }
+  if (colon == std::string::npos || close == std::string::npos) return "";
+  const std::string expr = trim(code.substr(colon + 1, close - colon - 1));
+  static const std::regex kTail(R"(([A-Za-z_]\w*)$)");
+  std::smatch m;
+  if (!std::regex_search(expr, m, kTail)) return "";
+  return m[1].str();
+}
+
+struct RuleInfo {
+  Rule rule;
+  const char* id;
+  const char* help;
+};
+
+const RuleInfo kRules[] = {
+    {Rule::kWallClock, "wall-clock",
+     "wall-clock time source outside src/util/stopwatch"},
+    {Rule::kRawRng, "raw-rng",
+     "non-deterministic RNG outside src/util/rng (use cdn::Rng)"},
+    {Rule::kUnorderedIter, "unordered-iter",
+     "iteration over std::unordered_{map,set} in an output-affecting module"},
+    {Rule::kFloatAccum, "float-accum",
+     "order-sensitive floating-point reduction in a metrics-aggregation "
+     "module"},
+    {Rule::kPragmaOnce, "pragma-once", "header missing '#pragma once'"},
+};
+
+}  // namespace
+
+const char* rule_id(Rule r) {
+  for (const RuleInfo& info : kRules) {
+    if (info.rule == r) return info.id;
+  }
+  return "unknown";
+}
+
+const char* rule_help(Rule r) {
+  for (const RuleInfo& info : kRules) {
+    if (info.rule == r) return info.help;
+  }
+  return "";
+}
+
+std::optional<Rule> rule_from_id(const std::string& id) {
+  for (const RuleInfo& info : kRules) {
+    if (id == info.id) return info.rule;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Rule>& all_rules() {
+  static const std::vector<Rule> rules = [] {
+    std::vector<Rule> r;
+    for (const RuleInfo& info : kRules) r.push_back(info.rule);
+    return r;
+  }();
+  return rules;
+}
+
+std::vector<Finding> scan_source(const std::string& rel_path,
+                                 const std::string& text,
+                                 const Options& opts) {
+  const std::vector<std::string> raw = split_lines(text);
+  const std::vector<std::string> code = strip_noncode(raw);
+  const std::vector<std::set<std::string>> allowed =
+      allowed_rules_per_line(raw);
+
+  std::vector<Finding> findings;
+  auto emit = [&](int line, Rule rule, std::string message) {
+    const std::size_t idx = static_cast<std::size_t>(line - 1);
+    if (idx < allowed.size() && allowed[idx].count(rule_id(rule))) return;
+    findings.push_back(Finding{rel_path, line, rule, std::move(message)});
+  };
+
+  static const std::regex kWallClock(
+      R"(system_clock|\b(localtime|gmtime|gettimeofday)|\b(time|clock)\s*\()");
+  static const std::regex kRawRng(
+      R"(\bstd\s*::\s*rand\b|\bs?rand\s*\(|\brandom_device\b|\brandom_shuffle\b)");
+  static const std::regex kFloatReduce(
+      R"(std\s*::\s*(accumulate|reduce|transform_reduce)\s*\()");
+  static const std::regex kFloatHint(R"(\bfloat\b|\bdouble\b|\d\.\d|\.\d+f)");
+
+  const bool wall_exempt = path_matches_any(rel_path, opts.wall_clock_exempt);
+  const bool rng_exempt = path_matches_any(rel_path, opts.raw_rng_exempt);
+  const bool ordered_module =
+      path_matches_any(rel_path, opts.ordered_output_modules);
+  const bool accum_module =
+      path_matches_any(rel_path, opts.float_accum_modules);
+
+  const std::set<std::string> unordered_names =
+      ordered_module ? unordered_container_names(code)
+                     : std::set<std::string>();
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const int lineno = static_cast<int>(i) + 1;
+    std::smatch m;
+
+    if (!wall_exempt && std::regex_search(line, m, kWallClock)) {
+      emit(lineno, Rule::kWallClock,
+           "wall-clock time source '" + trim(m.str()) +
+               "' outside src/util/stopwatch; results must not depend on "
+               "when they run (use cdn::Stopwatch for measurement only)");
+    }
+    if (!rng_exempt && std::regex_search(line, m, kRawRng)) {
+      emit(lineno, Rule::kRawRng,
+           "non-deterministic RNG '" + trim(m.str()) +
+               "' outside src/util/rng; take an explicit cdn::Rng so runs "
+               "are bit-reproducible");
+    }
+    if (accum_module && std::regex_search(line, m, kFloatReduce)) {
+      const bool is_accumulate = m[1].str() == "accumulate";
+      // std::accumulate is order-defined but still flagged when it folds
+      // floats (refactors that parallelize it change the bits silently);
+      // std::reduce / transform_reduce are unordered by spec.
+      std::string window = line;
+      for (std::size_t j = i + 1; j < code.size() && j <= i + 2; ++j) {
+        window += code[j];
+      }
+      if (!is_accumulate || std::regex_search(window, kFloatHint)) {
+        emit(lineno, Rule::kFloatAccum,
+             "'std::" + m[1].str() +
+                 "' over floating-point data in an aggregation module; "
+                 "fold in a fixed-order loop so summation order is pinned");
+      }
+    }
+    if (!unordered_names.empty()) {
+      const std::string target = range_for_target(line);
+      if (!target.empty() && unordered_names.count(target)) {
+        emit(lineno, Rule::kUnorderedIter,
+             "iteration over unordered container '" + target +
+                 "' in an output-affecting module; hash order is not "
+                 "deterministic across platforms — iterate a sorted view "
+                 "or use an ordered container");
+      } else {
+        for (const std::string& name : unordered_names) {
+          static const std::string kBegin = "begin";
+          const std::size_t p = line.find(name + ".");
+          if (p == std::string::npos) continue;
+          const std::string rest = line.substr(p + name.size() + 1);
+          if (rest.compare(0, kBegin.size(), kBegin) == 0 ||
+              rest.compare(0, 1 + kBegin.size(), "c" + kBegin) == 0) {
+            emit(lineno, Rule::kUnorderedIter,
+                 "iterator over unordered container '" + name +
+                     "' in an output-affecting module; hash order is not "
+                     "deterministic across platforms");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (is_header(rel_path)) {
+    bool has_pragma = false;
+    for (const std::string& line : raw) {
+      if (trim(line) == "#pragma once") {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      emit(1, Rule::kPragmaOnce,
+           "header is missing '#pragma once' (double inclusion breaks the "
+           "single-definition assumptions in the policy registry)");
+    }
+  }
+
+  return findings;
+}
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<std::string>& subdirs,
+                               const Options& opts) {
+  std::vector<std::string> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::exists(dir)) {
+      throw std::runtime_error("detlint: no such directory: " + dir.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".cc" && ext != ".hpp" && ext != ".h") {
+        continue;
+      }
+      files.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) throw std::runtime_error("detlint: cannot read " + rel);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::vector<Finding> f = scan_source(rel, ss.str(), opts);
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+  return findings;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  json::Array arr;
+  arr.reserve(findings.size());
+  for (const Finding& f : findings) {
+    json::Value row{json::Object{}};
+    row.set("file", f.file);
+    row.set("line", static_cast<std::int64_t>(f.line));
+    row.set("rule", rule_id(f.rule));
+    row.set("message", f.message);
+    arr.push_back(std::move(row));
+  }
+  return json::Value(std::move(arr)).dump(2) + "\n";
+}
+
+std::optional<std::vector<Finding>> apply_baseline(
+    std::vector<Finding> findings, const std::string& baseline_json,
+    std::string* error) {
+  std::string parse_error;
+  const std::optional<json::Value> doc =
+      json::parse(baseline_json, &parse_error);
+  if (!doc || !doc->is_array()) {
+    if (error) {
+      *error = doc ? "baseline is not a JSON array" : parse_error;
+    }
+    return std::nullopt;
+  }
+  std::set<std::string> keys;
+  for (const json::Value& row : doc->as_array()) {
+    const json::Value* file = row.find("file");
+    const json::Value* line = row.find("line");
+    const json::Value* rule = row.find("rule");
+    if (!file || !line || !rule || !file->is_string() ||
+        !line->is_number() || !rule->is_string()) {
+      if (error) *error = "baseline entry missing file/line/rule";
+      return std::nullopt;
+    }
+    keys.insert(file->as_string() + ":" +
+                std::to_string(static_cast<long long>(line->as_number())) +
+                ":" + rule->as_string());
+  }
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return keys.count(f.file + ":" +
+                                         std::to_string(f.line) + ":" +
+                                         rule_id(f.rule)) != 0;
+                     }),
+      findings.end());
+  return findings;
+}
+
+}  // namespace cdn::detlint

@@ -1,0 +1,98 @@
+// detlint — repo-specific determinism lint.
+//
+// The reproduction's tests pin MAB trajectories bit-for-bit
+// (test_golden_master, test_sweep_determinism), so any code path that can
+// read wall-clock time, platform entropy, or hash-order reaches straight
+// into the golden masters. detlint is the static gate for those hazards:
+// a lexical scanner (deliberately not a compiler plugin — it must stay
+// trivial to build and fast enough to run as a ctest on every build) that
+// walks src/, bench/ and tests/ and reports:
+//
+//   wall-clock      system_clock / time() / localtime / gettimeofday
+//                   outside src/util/stopwatch (the one sanctioned shim)
+//   raw-rng         std::rand / srand / random_device / random_shuffle
+//                   outside src/util/rng (every component takes cdn::Rng)
+//   unordered-iter  iteration over std::unordered_{map,set} variables in
+//                   output-affecting modules (src/obs, src/sim,
+//                   src/analysis) where hash order would leak into results
+//   float-accum     order-sensitive float reductions (std::accumulate with
+//                   a float init, std::reduce, std::transform_reduce) in
+//                   metrics-aggregation modules
+//   pragma-once     headers missing `#pragma once`
+//
+// Suppressions: `// detlint:allow(rule-id)` (comma-separated list allowed)
+// on the offending line or the line directly above silences the finding;
+// each surviving suppression in the tree must carry a justification after
+// the closing paren.
+//
+// Kept to C++17 on purpose so the tool builds on any toolchain the CI may
+// pin, independent of the C++20 library targets.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cdn::detlint {
+
+enum class Rule {
+  kWallClock,
+  kRawRng,
+  kUnorderedIter,
+  kFloatAccum,
+  kPragmaOnce,
+};
+
+/// Stable rule identifier used in reports, suppressions, and baselines.
+const char* rule_id(Rule r);
+std::optional<Rule> rule_from_id(const std::string& id);
+const std::vector<Rule>& all_rules();
+/// One-line description for --list-rules.
+const char* rule_help(Rule r);
+
+struct Finding {
+  std::string file;  ///< path relative to the scan root
+  int line = 0;      ///< 1-based
+  Rule rule = Rule::kWallClock;
+  std::string message;
+};
+
+struct Options {
+  /// Path fragments exempt from wall-clock (the sanctioned clock shim).
+  std::vector<std::string> wall_clock_exempt = {"src/util/stopwatch"};
+  /// Path fragments exempt from raw-rng (the deterministic RNG itself).
+  std::vector<std::string> raw_rng_exempt = {"src/util/rng"};
+  /// Modules whose iteration order reaches simulator output.
+  std::vector<std::string> ordered_output_modules = {"src/obs", "src/sim",
+                                                     "src/analysis"};
+  /// Modules that aggregate float metrics (ordering changes the bits).
+  std::vector<std::string> float_accum_modules = {"src/obs", "src/ml",
+                                                  "src/analysis"};
+};
+
+/// Scans one translation unit. `rel_path` (relative to the scan root)
+/// selects which rules apply; `text` is the file contents. Suppressed
+/// findings are already removed.
+std::vector<Finding> scan_source(const std::string& rel_path,
+                                 const std::string& text,
+                                 const Options& opts = Options());
+
+/// Recursively scans C++ sources (.cpp/.cc/.hpp/.h) under root/<subdir>
+/// for each subdir, in sorted path order. Throws std::runtime_error on IO
+/// failure.
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<std::string>& subdirs,
+                               const Options& opts = Options());
+
+/// Machine-readable findings report (JSON array, stable field order).
+std::string to_json(const std::vector<Finding>& findings);
+
+/// Removes findings recorded in `baseline_json` (the ratchet: CI fails
+/// only on findings NOT in the checked-in baseline). A baseline entry
+/// matches on (file, rule, line). Returns std::nullopt and sets `error`
+/// if the baseline does not parse.
+std::optional<std::vector<Finding>> apply_baseline(
+    std::vector<Finding> findings, const std::string& baseline_json,
+    std::string* error);
+
+}  // namespace cdn::detlint

@@ -1,0 +1,193 @@
+// Tests for the determinism lint: fixture files with known violations
+// (rule ids + line numbers), suppression handling, baseline ratcheting,
+// and CLI exit codes.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+#include "obs/json.hpp"
+
+#ifndef DETLINT_TESTDATA_DIR
+#error "build must define DETLINT_TESTDATA_DIR"
+#endif
+#ifndef DETLINT_BIN
+#error "build must define DETLINT_BIN"
+#endif
+
+namespace cdn::detlint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(DETLINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::pair<std::string, int>> rule_lines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(rule_id(f.rule), f.line);
+  return out;
+}
+
+/// Runs the installed detlint binary and returns its exit code.
+int run_detlint(const std::string& args) {
+  const int status = std::system(
+      (std::string(DETLINT_BIN) + " " + args + " >/dev/null 2>&1").c_str());
+  EXPECT_NE(status, -1);
+  return WEXITSTATUS(status);
+}
+
+TEST(DetlintRules, WallClockFindingsWithLines) {
+  const auto findings =
+      scan_source("src/core/fixture.cpp", read_fixture("wallclock_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"wall-clock", 6}, {"wall-clock", 8}, {"wall-clock", 9}}));
+}
+
+TEST(DetlintRules, WallClockExemptInsideStopwatch) {
+  const auto findings = scan_source("src/util/stopwatch.cpp",
+                                    read_fixture("wallclock_violation.cpp"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetlintRules, RawRngFindingsWithLines) {
+  const auto findings =
+      scan_source("src/core/fixture.cpp", read_fixture("rng_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"raw-rng", 6}, {"raw-rng", 7}, {"raw-rng", 8}}));
+}
+
+TEST(DetlintRules, RawRngExemptInsideRngModule) {
+  const auto findings =
+      scan_source("src/util/rng.cpp", read_fixture("rng_violation.cpp"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetlintRules, UnorderedIterOnlyInOutputModules) {
+  const std::string text = read_fixture("unordered_iter_violation.cpp");
+  // Outside the output-affecting modules: hash containers are fine.
+  EXPECT_TRUE(scan_source("src/policies/fixture.cpp", text).empty());
+  // Inside: both the range-for and the iterator loop fire; the find()
+  // lookup does not.
+  const auto findings = scan_source("src/obs/fixture.cpp", text);
+  EXPECT_EQ(rule_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"unordered-iter", 14}, {"unordered-iter", 17}}));
+}
+
+TEST(DetlintRules, FloatAccumFlagsFloatFoldsNotIntFolds) {
+  const auto findings = scan_source("src/obs/fixture.cpp",
+                                    read_fixture("float_accum_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"float-accum", 7}, {"float-accum", 11}}));
+}
+
+TEST(DetlintRules, PragmaOnceRequiredInHeaders) {
+  const auto findings =
+      scan_source("src/core/fixture.hpp", read_fixture("no_pragma.hpp"));
+  EXPECT_EQ(rule_lines(findings), (std::vector<std::pair<std::string, int>>{
+                                      {"pragma-once", 1}}));
+  // The same contents as a .cpp file carry no pragma-once obligation.
+  EXPECT_TRUE(
+      scan_source("src/core/fixture.cpp", read_fixture("no_pragma.hpp"))
+          .empty());
+}
+
+TEST(DetlintSuppression, AllowCommentsSilenceFindings) {
+  const auto findings =
+      scan_source("src/core/fixture.cpp", read_fixture("suppressed.cpp"));
+  EXPECT_TRUE(findings.empty()) << to_json(findings);
+}
+
+TEST(DetlintSuppression, AllowOfOtherRuleDoesNotSilence) {
+  const auto findings = scan_source(
+      "src/core/fixture.cpp",
+      "int f() { return std::rand(); }  // detlint:allow(wall-clock)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(rule_id(findings[0].rule), std::string("raw-rng"));
+}
+
+TEST(DetlintScanner, CommentsAndStringsAreIgnored) {
+  const auto findings =
+      scan_source("src/core/fixture.hpp", read_fixture("clean.hpp"));
+  EXPECT_TRUE(findings.empty()) << to_json(findings);
+}
+
+TEST(DetlintScanner, TreeScanIsSortedAndComplete) {
+  Options opts;
+  // Point the module-scoped rules at the fixture directory so every rule
+  // participates in the tree scan.
+  opts.ordered_output_modules = {"unordered_iter_violation"};
+  opts.float_accum_modules = {"float_accum_violation"};
+  const auto findings = scan_tree(DETLINT_TESTDATA_DIR, {"."}, opts);
+  // 3 wall-clock + 3 raw-rng + 2 unordered-iter + 2 float-accum + 1
+  // pragma-once; suppressed.cpp and clean.hpp contribute nothing.
+  EXPECT_EQ(findings.size(), 11u) << to_json(findings);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].file, findings[i].file);
+  }
+}
+
+TEST(DetlintBaseline, BaselineRatchetsKnownFindings) {
+  const std::string text = read_fixture("rng_violation.cpp");
+  auto findings = scan_source("src/core/fixture.cpp", text);
+  ASSERT_EQ(findings.size(), 3u);
+  // Baseline the first two; only the third survives.
+  const std::string baseline = to_json(
+      std::vector<Finding>(findings.begin(), findings.begin() + 2));
+  std::string error;
+  const auto filtered = apply_baseline(findings, baseline, &error);
+  ASSERT_TRUE(filtered.has_value()) << error;
+  ASSERT_EQ(filtered->size(), 1u);
+  EXPECT_EQ((*filtered)[0].line, 8);
+}
+
+TEST(DetlintBaseline, MalformedBaselineIsAnError) {
+  std::string error;
+  EXPECT_FALSE(apply_baseline({}, "{not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(DetlintJson, ReportRoundTripsThroughObsParser) {
+  const auto findings =
+      scan_source("src/core/fixture.cpp", read_fixture("rng_violation.cpp"));
+  std::string error;
+  const auto doc = cdn::obs::json::parse(to_json(findings), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->as_array().size(), 3u);
+  const auto& row = doc->as_array()[0];
+  EXPECT_EQ(row.find("rule")->as_string(), "raw-rng");
+  EXPECT_EQ(row.find("line")->as_number(), 6);
+}
+
+TEST(DetlintCli, ExitCodesReportViolationsAndBaseline) {
+  const std::string root = std::string("--root ") + DETLINT_TESTDATA_DIR;
+  // Fixtures contain violations: exit 1.
+  EXPECT_EQ(run_detlint(root + " ."), 1);
+  // A full baseline snapshot silences them: exit 0.
+  const std::string baseline =
+      ::testing::TempDir() + "/detlint_baseline.json";
+  EXPECT_EQ(run_detlint(root + " --write-baseline " + baseline + " ."), 0);
+  EXPECT_EQ(run_detlint(root + " --baseline " + baseline + " ."), 0);
+  // Usage errors: exit 2.
+  EXPECT_EQ(run_detlint("--root /nonexistent-detlint-dir ."), 2);
+  EXPECT_EQ(run_detlint(""), 2);
+}
+
+}  // namespace
+}  // namespace cdn::detlint

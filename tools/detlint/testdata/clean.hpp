@@ -1,0 +1,10 @@
+// Fixture: fully clean header — mentions of hazards live only in comments
+// and string literals, which the scanner must ignore (e.g. random_device,
+// system_clock, localtime).
+#pragma once
+
+#include <string>
+
+inline std::string fixture_prose() {
+  return "uses no random_device or system_clock at runtime";
+}

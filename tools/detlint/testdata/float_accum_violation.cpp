@@ -1,0 +1,16 @@
+// Fixture: order-sensitive float reductions in an aggregation module.
+// The int accumulate must NOT fire. Never compiled.
+#include <numeric>
+#include <vector>
+
+double fixture_mean(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // line 7: float-accum
+}
+
+double fixture_unordered(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // line 11: float-accum
+}
+
+int fixture_count(const std::vector<int>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0);  // int fold: no finding
+}

@@ -1,0 +1,7 @@
+// Fixture: header deliberately missing `#pragma once`. Never compiled.
+#ifndef DETLINT_TESTDATA_NO_PRAGMA_HPP
+#define DETLINT_TESTDATA_NO_PRAGMA_HPP
+
+inline int fixture_answer() { return 42; }
+
+#endif  // DETLINT_TESTDATA_NO_PRAGMA_HPP

@@ -1,0 +1,9 @@
+// Fixture: every raw-RNG hazard detlint must catch. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int fixture_entropy() {
+  std::random_device rd;  // line 6: random_device
+  srand(rd());  // line 7: srand(
+  return std::rand();  // line 8: std::rand
+}

@@ -1,0 +1,16 @@
+// Fixture: every violation here carries a detlint:allow suppression, so a
+// scan must report zero findings. Never compiled.
+#include <chrono>
+#include <cstdlib>
+
+long fixture_suppressed_clock() {
+  // Same-line suppression:
+  auto tp = std::chrono::system_clock::now();  // detlint:allow(wall-clock): fixture
+  (void)tp;
+  // Line-above suppression:
+  // detlint:allow(raw-rng): fixture exercises the carry-down form
+  int r = std::rand();
+  // Comma-separated list:
+  // detlint:allow(wall-clock, raw-rng): fixture exercises the list form
+  return r + static_cast<long>(time(nullptr)) + std::rand();
+}

@@ -1,0 +1,26 @@
+// Fixture: hash-order iteration in an output-affecting module. The test
+// passes a module path (or module-scoped Options), so these fire; lookup
+// and insertion below must NOT fire. Never compiled.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FixtureExporter {
+  std::unordered_map<std::uint64_t, double> scores_;
+  std::unordered_set<std::uint64_t> seen;
+
+  double fixture_sum() {
+    double total = 0.0;
+    for (const auto& [id, score] : scores_) {  // line 14: unordered-iter
+      total += score;
+    }
+    for (auto it = seen.begin(); it != seen.end(); ++it) {  // line 17
+      total += 1.0;
+    }
+    return total;
+  }
+
+  bool fixture_lookup(std::uint64_t id) {
+    return scores_.find(id) != scores_.end();  // lookup: no finding
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: every wall-clock hazard detlint must catch. Never compiled.
+#include <chrono>
+#include <ctime>
+
+long fixture_now_epoch() {
+  auto tp = std::chrono::system_clock::now();  // line 6: system_clock
+  (void)tp;
+  std::time_t t = time(nullptr);  // line 8: time(
+  std::tm* local = localtime(&t);  // line 9: localtime
+  (void)local;
+  return static_cast<long>(t);
+}
