@@ -7,17 +7,17 @@ namespace cdn::obs {
 
 void CollectingSink::consume(const MetricRegistry& reg) {
   std::string doc = to_json(reg);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   docs_.push_back(std::move(doc));
 }
 
 std::vector<std::string> CollectingSink::documents() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return docs_;
 }
 
 std::size_t CollectingSink::count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return docs_.size();
 }
 
@@ -30,7 +30,7 @@ JsonLinesSink::JsonLinesSink(const std::string& path) : path_(path) {
 
 void JsonLinesSink::consume(const MetricRegistry& reg) {
   const std::string doc = to_json(reg);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::ofstream f(path_, std::ios::app);
   if (!f) {
     throw std::runtime_error("JsonLinesSink: cannot append to " + path_);

@@ -7,11 +7,12 @@
 // channel, e.g. a JSONL file a notebook tails during a long sweep).
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cdn::obs {
 
@@ -32,8 +33,8 @@ class CollectingSink final : public MetricsSink {
   [[nodiscard]] std::size_t count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> docs_;
+  mutable Mutex mu_;
+  std::vector<std::string> docs_ CDN_GUARDED_BY(mu_);
 };
 
 /// Appends one compact "cdn-metrics" JSON document per line to a file.
@@ -47,7 +48,7 @@ class JsonLinesSink final : public MetricsSink {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;  ///< serializes appends so lines from concurrent jobs stay whole
   std::string path_;
 };
 

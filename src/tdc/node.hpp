@@ -9,6 +9,7 @@
 #include <string>
 
 #include "sim/cache.hpp"
+#include "srv/shard_stats.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -26,16 +27,20 @@ class Node {
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] std::uint64_t used_bytes() const CDN_EXCLUDES(mu_) {
+
+  /// All stats reads in one critical section (the same ShardStats record
+  /// the srv shards report): one lock round-trip instead of one per field,
+  /// and used/capacity always come from a consistent point in time.
+  /// Capacity is immutable after construction, but the policy object is
+  /// not const-thread-safe in general, so even that read stays under the
+  /// (uncontended) lock rather than carving out an unchecked path.
+  [[nodiscard]] srv::ShardStats snapshot() const CDN_EXCLUDES(mu_) {
     MutexLock lk(mu_);
-    return cache_->used_bytes();
-  }
-  [[nodiscard]] std::uint64_t capacity() const CDN_EXCLUDES(mu_) {
-    // Capacity is immutable after construction, but the policy object is
-    // not const-thread-safe in general; take the (uncontended) lock rather
-    // than carve out an unchecked read path.
-    MutexLock lk(mu_);
-    return cache_->capacity();
+    srv::ShardStats s;
+    s.capacity_bytes = cache_->capacity();
+    s.used_bytes = cache_->used_bytes();
+    s.metadata_bytes = cache_->metadata_bytes();
+    return s;
   }
 
  private:

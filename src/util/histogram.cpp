@@ -38,6 +38,13 @@ void LogHistogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
   total_ += weight;
 }
 
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  total_ += other.total_;
+}
+
 std::uint64_t LogHistogram::percentile(double p) const noexcept {
   if (total_ == 0) return 0;
   if (p < 0.0) p = 0.0;

@@ -39,6 +39,11 @@ class LogHistogram {
   void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
+  /// Folds `other` into this histogram (bucket-wise addition). Merging is
+  /// commutative and associative, so per-worker histograms recorded without
+  /// any shared state roll up to the same result regardless of merge order.
+  void merge(const LogHistogram& other) noexcept;
+
   /// p in [0, 1]; returns bucket upper bound covering that quantile.
   [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
 

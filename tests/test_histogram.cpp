@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "util/histogram.hpp"
 
@@ -79,6 +80,53 @@ TEST(LogHistogram, WeightsCount) {
   EXPECT_EQ(h.total(), 4u);
   // 75 % of the mass is at value 1 -> p50 is in value-1's bucket.
   EXPECT_LE(h.percentile(0.5), 1u);
+}
+
+TEST(LogHistogram, MergeIsBucketwiseAddition) {
+  LogHistogram a, b;
+  a.add(5, 3);
+  a.add(1000);
+  b.add(5, 2);
+  b.add(1 << 20, 4);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 10u);
+  LogHistogram direct;
+  direct.add(5, 5);
+  direct.add(1000);
+  direct.add(1 << 20, 4);
+  EXPECT_EQ(a.buckets(), direct.buckets());
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram a, empty;
+  a.add(42, 7);
+  const auto before = a.buckets();
+  a.merge(empty);
+  EXPECT_EQ(a.buckets(), before);
+  EXPECT_EQ(a.total(), 7u);
+  empty.merge(a);  // and in the other direction
+  EXPECT_EQ(empty.buckets(), before);
+}
+
+TEST(LogHistogram, PercentilesOverMergeMatchSingleHistogram) {
+  // The per-worker -> merged rollup the load generator relies on: splitting
+  // a stream across histograms and merging must give the same percentiles
+  // as recording everything into one, regardless of merge order.
+  LogHistogram whole;
+  std::vector<LogHistogram> parts(4);
+  for (std::uint64_t v = 1; v <= 20'000; ++v) {
+    whole.add(v);
+    parts[v % parts.size()].add(v);
+  }
+  LogHistogram merged;
+  for (std::size_t i = parts.size(); i-- > 0;) {  // reverse order on purpose
+    merged.merge(parts[i]);
+  }
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_EQ(merged.buckets(), whole.buckets());
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.percentile(p), whole.percentile(p)) << p;
+  }
 }
 
 TEST(LogHistogram, ClampsOutOfRangeP) {

@@ -25,6 +25,19 @@ ClusterConfig lru_config(std::size_t oc = 4, std::size_t dc = 2) {
   return cfg;
 }
 
+TEST(Node, SnapshotReadsAllStatsConsistently) {
+  Node node("oc0", std::make_unique<LruCache>(1ULL << 20));
+  srv::ShardStats s = node.snapshot();
+  EXPECT_EQ(s.capacity_bytes, 1ULL << 20);
+  EXPECT_EQ(s.used_bytes, 0u);
+  node.access(Request{0, 1, 4096, -1});
+  node.access(Request{1, 2, 8192, -1});
+  s = node.snapshot();
+  EXPECT_EQ(s.capacity_bytes, 1ULL << 20);
+  EXPECT_EQ(s.used_bytes, 4096u + 8192u);
+  EXPECT_GT(s.metadata_bytes, 0u);
+}
+
 TEST(LatencyModel, HopsAreOrdered) {
   LatencyModel m;
   const std::uint64_t size = 1 << 20;

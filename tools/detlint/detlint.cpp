@@ -233,6 +233,9 @@ const RuleInfo kRules[] = {
     {Rule::kFloatAccum, "float-accum",
      "order-sensitive floating-point reduction in a metrics-aggregation "
      "module"},
+    {Rule::kRawMutex, "raw-mutex",
+     "raw std locking primitive outside src/util/ (use the annotated "
+     "cdn::Mutex/MutexLock/CondVar)"},
     {Rule::kPragmaOnce, "pragma-once", "header missing '#pragma once'"},
 };
 
@@ -290,9 +293,12 @@ std::vector<Finding> scan_source(const std::string& rel_path,
   static const std::regex kFloatReduce(
       R"(std\s*::\s*(accumulate|reduce|transform_reduce)\s*\()");
   static const std::regex kFloatHint(R"(\bfloat\b|\bdouble\b|\d\.\d|\.\d+f)");
+  static const std::regex kRawMutex(
+      R"(std\s*::\s*((recursive_|timed_|shared_)?mutex|lock_guard|unique_lock|scoped_lock|condition_variable(_any)?)\b)");
 
   const bool wall_exempt = path_matches_any(rel_path, opts.wall_clock_exempt);
   const bool rng_exempt = path_matches_any(rel_path, opts.raw_rng_exempt);
+  const bool mutex_exempt = path_matches_any(rel_path, opts.raw_mutex_exempt);
   const bool ordered_module =
       path_matches_any(rel_path, opts.ordered_output_modules);
   const bool accum_module =
@@ -318,6 +324,13 @@ std::vector<Finding> scan_source(const std::string& rel_path,
            "non-deterministic RNG '" + trim(m.str()) +
                "' outside src/util/rng; take an explicit cdn::Rng so runs "
                "are bit-reproducible");
+    }
+    if (!mutex_exempt && std::regex_search(line, m, kRawMutex)) {
+      emit(lineno, Rule::kRawMutex,
+           "raw locking primitive '" + trim(m.str()) +
+               "' outside src/util/; use cdn::Mutex/MutexLock/CondVar "
+               "(util/mutex.hpp) so -Wthread-safety can check the locking "
+               "protocol");
     }
     if (accum_module && std::regex_search(line, m, kFloatReduce)) {
       const bool is_accumulate = m[1].str() == "accumulate";

@@ -18,6 +18,11 @@
 //   float-accum     order-sensitive float reductions (std::accumulate with
 //                   a float init, std::reduce, std::transform_reduce) in
 //                   metrics-aggregation modules
+//   raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
+//                   std::scoped_lock / std::condition_variable outside
+//                   src/util/ — all locking must go through the thread-
+//                   safety-annotated cdn::Mutex / MutexLock / CondVar so
+//                   clang's -Wthread-safety can check the protocol
 //   pragma-once     headers missing `#pragma once`
 //
 // Suppressions: `// detlint:allow(rule-id)` (comma-separated list allowed)
@@ -40,6 +45,7 @@ enum class Rule {
   kRawRng,
   kUnorderedIter,
   kFloatAccum,
+  kRawMutex,
   kPragmaOnce,
 };
 
@@ -68,6 +74,9 @@ struct Options {
   /// Modules that aggregate float metrics (ordering changes the bits).
   std::vector<std::string> float_accum_modules = {"src/obs", "src/ml",
                                                   "src/analysis"};
+  /// Path fragments exempt from raw-mutex (the annotated wrappers
+  /// themselves live here and must wrap the std types).
+  std::vector<std::string> raw_mutex_exempt = {"src/util/"};
 };
 
 /// Scans one translation unit. `rel_path` (relative to the scan root)

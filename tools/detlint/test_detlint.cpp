@@ -88,6 +88,30 @@ TEST(DetlintRules, UnorderedIterOnlyInOutputModules) {
                 {"unordered-iter", 14}, {"unordered-iter", 17}}));
 }
 
+TEST(DetlintRules, RawMutexFindingsWithLines) {
+  const auto findings = scan_source("src/srv/fixture.cpp",
+                                    read_fixture("raw_mutex_violation.cpp"));
+  EXPECT_EQ(rule_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"raw-mutex", 6}, {"raw-mutex", 9}, {"raw-mutex", 10}}));
+}
+
+TEST(DetlintRules, RawMutexExemptInsideUtil) {
+  const auto findings = scan_source("src/util/mutex.hpp",
+                                    read_fixture("raw_mutex_violation.cpp"));
+  // The annotated wrappers themselves must hold the raw std types; only
+  // the pragma-once rule applies to the header path.
+  EXPECT_EQ(rule_lines(findings), (std::vector<std::pair<std::string, int>>{
+                                      {"pragma-once", 1}}));
+}
+
+TEST(DetlintRules, RawMutexDoesNotFlagCdnMutex) {
+  const auto findings = scan_source(
+      "src/srv/fixture.cpp",
+      "cdn::Mutex mu_;\nvoid f() { cdn::MutexLock lk(mu_); }\n");
+  EXPECT_TRUE(findings.empty()) << to_json(findings);
+}
+
 TEST(DetlintRules, FloatAccumFlagsFloatFoldsNotIntFolds) {
   const auto findings = scan_source("src/obs/fixture.cpp",
                                     read_fixture("float_accum_violation.cpp"));
@@ -134,9 +158,10 @@ TEST(DetlintScanner, TreeScanIsSortedAndComplete) {
   opts.ordered_output_modules = {"unordered_iter_violation"};
   opts.float_accum_modules = {"float_accum_violation"};
   const auto findings = scan_tree(DETLINT_TESTDATA_DIR, {"."}, opts);
-  // 3 wall-clock + 3 raw-rng + 2 unordered-iter + 2 float-accum + 1
-  // pragma-once; suppressed.cpp and clean.hpp contribute nothing.
-  EXPECT_EQ(findings.size(), 11u) << to_json(findings);
+  // 3 wall-clock + 3 raw-rng + 2 unordered-iter + 2 float-accum + 3
+  // raw-mutex + 1 pragma-once; suppressed.cpp and clean.hpp contribute
+  // nothing.
+  EXPECT_EQ(findings.size(), 14u) << to_json(findings);
   for (std::size_t i = 1; i < findings.size(); ++i) {
     EXPECT_LE(findings[i - 1].file, findings[i].file);
   }

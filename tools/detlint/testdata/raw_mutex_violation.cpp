@@ -1,0 +1,13 @@
+// Fixture: raw std locking primitives outside src/util/ (raw-mutex).
+// Expected findings are pinned by test_detlint: lines 6, 9 and 10.
+// NOLINTBEGIN
+#include <mutex>
+
+static std::mutex fixture_mu;
+
+int locked_get(int* p) {
+  std::lock_guard<std::mutex> lk(fixture_mu);
+  std::unique_lock<std::mutex> ul(fixture_mu, std::defer_lock);
+  return *p;
+}
+// NOLINTEND
