@@ -233,9 +233,21 @@ void ScipAdvisor::sample_metrics(obs::MetricRegistry& reg) {
 }
 
 std::uint64_t ScipAdvisor::metadata_bytes() const {
-  return hm_.metadata_bytes() + hl_.metadata_bytes() +
-         mon_mru_.metadata_bytes() + mon_lip_.metadata_bytes() +
-         mon_mru_prom_.metadata_bytes() + mon_demote_.metadata_bytes() + 192;
+  // Report only live structures. The history lists and the advisor's fixed
+  // scalar state (weights, duel counters, lambda adapter, RNG, pending
+  // override: ~96 bytes) always exist; the four shadow monitors and their
+  // fixed per-monitor state (capacity/mode/queue headers/BIP RNG: ~24 bytes
+  // each) only count when the duels are enabled — the constructor disables
+  // them below monitor_min_bytes, and charging disabled monitors inflated
+  // the resource-accounting columns for exactly the small caches where
+  // metadata overhead matters most.
+  std::uint64_t total = hm_.metadata_bytes() + hl_.metadata_bytes() + 96;
+  if (params_.use_monitors) {
+    total += mon_mru_.metadata_bytes() + mon_lip_.metadata_bytes() +
+             mon_mru_prom_.metadata_bytes() + mon_demote_.metadata_bytes() +
+             4 * 24;
+  }
+  return total;
 }
 
 }  // namespace cdn

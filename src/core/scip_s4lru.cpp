@@ -61,9 +61,11 @@ void ScipS4LruCache::rebalance() {
 
 bool ScipS4LruCache::access(const Request& req) {
   ++tick_;
-  auto it = level_.find(req.id);
-  if (it != level_.end()) {
-    const int cur = it->second;
+  // The pointer stays valid through the hit path: nothing below inserts
+  // into level_ before the assignments through it (rebalance() runs after).
+  std::uint8_t* lv = level_.find(req.id);
+  if (lv != nullptr) {
+    const int cur = *lv;
     LruQueue::Node moved{};
     seg_[static_cast<std::size_t>(cur)].erase(req.id, &moved);
     const bool mru = advisor_->choose_mru_for_hit(req, moved.hits + 1);
@@ -74,14 +76,14 @@ bool ScipS4LruCache::access(const Request& req) {
       n.hits = moved.hits + 1;
       n.insert_tick = moved.insert_tick;
       n.last_tick = tick_;
-      it->second = static_cast<std::uint8_t>(dst);
+      *lv = static_cast<std::uint8_t>(dst);
     } else {
       // P-ZRO treatment: straight to the global eviction frontier.
       LruQueue::Node& n = seg_[0].insert_lru(req.id, moved.size);
       n.hits = moved.hits + 1;
       n.insert_tick = moved.insert_tick;
       n.last_tick = tick_;
-      it->second = 0;
+      *lv = 0;
     }
     rebalance();
     advisor_->on_request(req, true);
@@ -104,7 +106,11 @@ bool ScipS4LruCache::access(const Request& req) {
 }
 
 std::uint64_t ScipS4LruCache::metadata_bytes() const {
-  std::uint64_t total = level_.size() * 48 + advisor_->metadata_bytes();
+  // 3x the inline slot size amortizes the flat index's power-of-two slack
+  // (the table runs between 1/4 and 1/2 occupancy; 3x is the midpoint).
+  constexpr std::uint64_t kLevelEntry =
+      3 * FlatMap<std::uint64_t, std::uint8_t>::kSlotBytes;
+  std::uint64_t total = level_.size() * kLevelEntry + advisor_->metadata_bytes();
   for (const auto& s : seg_) total += s.metadata_bytes();
   return total;
 }

@@ -15,11 +15,11 @@
 
 #include <array>
 #include <memory>
-#include <unordered_map>
 
 #include "sim/advisor.hpp"
 #include "sim/cache.hpp"
 #include "sim/lru_queue.hpp"
+#include "util/flat_map.hpp"
 
 namespace cdn {
 
@@ -44,7 +44,7 @@ class ScipS4LruCache final : public Cache {
   std::shared_ptr<InsertionAdvisor> advisor_;
   std::array<LruQueue, kLevels> seg_;
   std::array<std::uint64_t, kLevels> seg_cap_{};
-  std::unordered_map<std::uint64_t, std::uint8_t> level_;
+  FlatMap<std::uint64_t, std::uint8_t> level_;
   std::int64_t tick_ = 0;
 };
 

@@ -102,11 +102,11 @@ AuditReport Inspector::check(const LruQueue& q, std::uint64_t capacity_bytes) {
     if (!ids.insert(n.id).second) {
       c.fail("duplicate resident id ", n.id);
     }
-    auto it = q.index_.find(n.id);
-    if (it == q.index_.end()) {
+    const std::uint32_t* mapped = q.index_.find(n.id);
+    if (mapped == nullptr) {
       c.fail("resident id ", n.id, " missing from index_");
-    } else if (it->second != i) {
-      c.fail("index_[", n.id, "] = ", it->second, ", expected slot ", i);
+    } else if (*mapped != i) {
+      c.fail("index_[", n.id, "] = ", *mapped, ", expected slot ", i);
     }
     if (n.dense_pos_ >= q.dense_.size()) {
       c.fail("slot ", i, " dense_pos_ ", n.dense_pos_, " out of range");
@@ -161,22 +161,55 @@ AuditReport Inspector::check(const LruQueue& q, std::uint64_t capacity_bytes) {
 AuditReport Inspector::check(const GhostList& g) {
   AuditReport report;
   Collector c(report);
+  const auto& slab = g.slab_;
+  const std::uint32_t kNull = GhostList::kNull;
 
+  // Walk front (newest) -> back via next_, verifying prev_ mirrors the
+  // path; bound the walk so a corrupted cycle reports instead of hanging.
+  std::vector<std::uint32_t> order;
+  std::unordered_set<std::uint32_t> on_list;
+  std::uint32_t prev = kNull;
+  std::uint32_t idx = g.head_;
+  bool cycle = false;
+  while (idx != kNull) {
+    if (idx >= slab.size()) {
+      c.fail("FIFO link out of slab range: ", idx, " >= ", slab.size());
+      return report;  // cannot traverse further safely
+    }
+    if (!on_list.insert(idx).second) {
+      c.fail("cycle in FIFO list at slab slot ", idx);
+      cycle = true;
+      break;
+    }
+    if (slab[idx].prev_ != prev) {
+      c.fail("prev link of slot ", idx, " is ", slab[idx].prev_,
+             ", expected ", prev);
+    }
+    order.push_back(idx);
+    prev = idx;
+    idx = slab[idx].next_;
+  }
+  if (!cycle && g.tail_ != prev) {
+    c.fail("tail_ is ", g.tail_, ", expected last walked slot ", prev);
+  }
+
+  // Per-record: byte accounting, index mapping, id uniqueness.
   std::uint64_t sum_bytes = 0;
   std::unordered_set<std::uint64_t> ids;
-  for (auto it = g.fifo_.begin(); it != g.fifo_.end(); ++it) {
-    sum_bytes += it->size;
-    if (!ids.insert(it->id).second) c.fail("duplicate record id ", it->id);
-    if (it->size > g.capacity_) {
-      c.fail("record ", it->id, " of size ", it->size,
+  for (const std::uint32_t i : order) {
+    const auto& r = slab[i];
+    sum_bytes += r.size;
+    if (!ids.insert(r.id).second) c.fail("duplicate record id ", r.id);
+    if (r.size > g.capacity_) {
+      c.fail("record ", r.id, " of size ", r.size,
              " individually exceeds capacity ", g.capacity_);
     }
-    auto idx_it = g.index_.find(it->id);
-    if (idx_it == g.index_.end()) {
-      c.fail("record ", it->id, " missing from index");
-    } else if (idx_it->second != it) {
-      c.fail("index iterator for id ", it->id,
-             " does not point at its FIFO record");
+    const std::uint32_t* mapped = g.index_.find(r.id);
+    if (mapped == nullptr) {
+      c.fail("record ", r.id, " missing from index");
+    } else if (*mapped != i) {
+      c.fail("index[", r.id, "] = ", *mapped,
+             ", does not point at its FIFO record slot ", i);
     }
   }
   if (ids.size() != g.index_.size()) {
@@ -191,13 +224,34 @@ AuditReport Inspector::check(const GhostList& g) {
     c.fail("used_bytes_ ", g.used_bytes_, " exceeds capacity ", g.capacity_);
   }
 
+  // Slab slots partition into FIFO records ∪ free list.
+  std::unordered_set<std::uint32_t> free_set;
+  for (const std::uint32_t f : g.free_list_) {
+    if (f >= slab.size()) {
+      c.fail("free_list_ entry ", f, " out of slab range");
+      continue;
+    }
+    if (!free_set.insert(f).second) c.fail("duplicate free_list_ entry ", f);
+    if (on_list.contains(f)) {
+      c.fail("slot ", f, " is both free-listed and on the FIFO list");
+    }
+  }
+  if (order.size() + g.free_list_.size() != slab.size()) {
+    c.fail("slab has ", slab.size(), " slots but records (", order.size(),
+           ") + free (", g.free_list_.size(), ") = ",
+           order.size() + g.free_list_.size());
+  }
+
   return report;
 }
 
 std::vector<std::uint64_t> Inspector::ghost_ids(const GhostList& g) {
   std::vector<std::uint64_t> out;
   out.reserve(g.index_.size());
-  for (const auto& rec : g.fifo_) out.push_back(rec.id);
+  for (std::uint32_t idx = g.head_; idx != GhostList::kNull;
+       idx = g.slab_[idx].next_) {
+    out.push_back(g.slab_[idx].id);
+  }
   return out;
 }
 

@@ -58,11 +58,14 @@ class Inspector {
                            std::uint64_t capacity_bytes = kNoCapacity);
 
   /// Validates every structural invariant of a GhostList:
-  ///  - FIFO list and hash index hold the same records (iterators in the
-  ///    index point into the list at the matching id), ids unique;
+  ///  - intrusive FIFO-link integrity: front reachable to back via next,
+  ///    prev mirrors next, no cycle;
+  ///  - FIFO list and flat index hold the same records (the index maps
+  ///    each id to its slab slot), ids unique;
   ///  - `used_bytes()` equals the sum of recorded sizes;
   ///  - the byte bound holds: `used_bytes() <= capacity()`;
-  ///  - no record individually exceeds the capacity (add() rejects those).
+  ///  - no record individually exceeds the capacity (add() rejects those);
+  ///  - slab slots partition exactly into {records} ∪ {free list}.
   static AuditReport check(const GhostList& g);
 
   /// Recorded ids front (newest) to back (oldest) — lets differential tests

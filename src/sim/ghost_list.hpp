@@ -9,11 +9,17 @@
 // Per the paper's ADD function: a new record enters at the MRU (front) end;
 // when the list is full the record at the LRU (back) end is dropped; a hit
 // DELETEs the record.
+//
+// Storage mirrors LruQueue: a slab of records with intrusive u32 FIFO links
+// plus a free list, indexed by a FlatMap from id to slab slot — ghost
+// metadata is written on every eviction and consulted on every miss, so it
+// pays no per-record heap allocation (the std::list node per record it
+// once used) and no unordered_map bucket chase.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+
+#include "util/flat_map.hpp"
 
 namespace cdn {
 
@@ -49,7 +55,7 @@ class GhostList {
   }
   [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
 
-  /// Metadata footprint estimate (key + size + list/hash overhead).
+  /// Metadata footprint estimate (slab record + flat-index share).
   [[nodiscard]] std::uint64_t metadata_bytes() const noexcept {
     return count() * kPerEntryBytes;
   }
@@ -65,17 +71,31 @@ class GhostList {
  private:
   friend class audit::Inspector;
 
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
   struct Rec {
-    std::uint64_t id;
-    std::uint64_t size;
-    bool tag;
+    std::uint64_t id = 0;
+    std::uint64_t size = 0;
+    bool tag = false;
+   private:
+    std::uint32_t prev_ = kNull;  ///< toward front (newer)
+    std::uint32_t next_ = kNull;  ///< toward back (older)
+    friend class GhostList;
+    friend class audit::Inspector;
   };
+
+  std::uint32_t alloc_rec();
+  void free_rec(std::uint32_t idx);
+  void unlink(std::uint32_t idx);
   void evict_to_fit();
 
   std::uint64_t capacity_;
   std::uint64_t used_bytes_ = 0;
-  std::list<Rec> fifo_;  ///< front = newest (MRU end), back = oldest
-  std::unordered_map<std::uint64_t, std::list<Rec>::iterator> index_;
+  std::vector<Rec> slab_;
+  std::vector<std::uint32_t> free_list_;
+  FlatMap<std::uint64_t, std::uint32_t> index_;
+  std::uint32_t head_ = kNull;  ///< front = newest (MRU end)
+  std::uint32_t tail_ = kNull;  ///< back = oldest (drop end)
 };
 
 }  // namespace cdn

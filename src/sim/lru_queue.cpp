@@ -5,13 +5,13 @@
 namespace cdn {
 
 LruQueue::Node* LruQueue::find(std::uint64_t id) {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &slab_[it->second];
+  const std::uint32_t* idx = index_.find(id);
+  return idx == nullptr ? nullptr : &slab_[*idx];
 }
 
 const LruQueue::Node* LruQueue::find(std::uint64_t id) const {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &slab_[it->second];
+  const std::uint32_t* idx = index_.find(id);
+  return idx == nullptr ? nullptr : &slab_[*idx];
 }
 
 std::uint32_t LruQueue::alloc_node() {
@@ -77,7 +77,7 @@ LruQueue::Node& LruQueue::insert_mru(std::uint64_t id, std::uint64_t size) {
   n.insert_pos = 1;
   n.dense_pos_ = static_cast<std::uint32_t>(dense_.size());
   dense_.push_back(idx);
-  index_.emplace(id, idx);
+  index_.insert(id, idx);
   used_bytes_ += size;
   link_mru(idx);
   return n;
@@ -92,24 +92,25 @@ LruQueue::Node& LruQueue::insert_lru(std::uint64_t id, std::uint64_t size) {
   n.insert_pos = 0;
   n.dense_pos_ = static_cast<std::uint32_t>(dense_.size());
   dense_.push_back(idx);
-  index_.emplace(id, idx);
+  index_.insert(id, idx);
   used_bytes_ += size;
   link_lru(idx);
   return n;
 }
 
 void LruQueue::touch_mru(std::uint64_t id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  if (head_ == it->second) return;
-  unlink(it->second);
-  link_mru(it->second);
+  const std::uint32_t* p = index_.find(id);
+  if (p == nullptr) return;
+  const std::uint32_t idx = *p;
+  if (head_ == idx) return;
+  unlink(idx);
+  link_mru(idx);
 }
 
 void LruQueue::move_up_one(std::uint64_t id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  const std::uint32_t idx = it->second;
+  const std::uint32_t* found = index_.find(id);
+  if (found == nullptr) return;
+  const std::uint32_t idx = *found;
   const std::uint32_t prev = slab_[idx].prev_;
   if (prev == kNull) return;  // already MRU
   // Swap positions of idx and prev in the list by relinking idx before prev.
@@ -127,11 +128,12 @@ void LruQueue::move_up_one(std::uint64_t id) {
 }
 
 void LruQueue::demote_lru(std::uint64_t id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  if (tail_ == it->second) return;
-  unlink(it->second);
-  link_lru(it->second);
+  const std::uint32_t* p = index_.find(id);
+  if (p == nullptr) return;
+  const std::uint32_t idx = *p;
+  if (tail_ == idx) return;
+  unlink(idx);
+  link_lru(idx);
 }
 
 LruQueue::Node LruQueue::pop_lru() {
@@ -146,13 +148,13 @@ LruQueue::Node LruQueue::pop_lru() {
 }
 
 bool LruQueue::erase(std::uint64_t id, Node* out) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  const std::uint32_t idx = it->second;
+  const std::uint32_t* p = index_.find(id);
+  if (p == nullptr) return false;
+  const std::uint32_t idx = *p;
   if (out) *out = slab_[idx];
   unlink(idx);
   used_bytes_ -= slab_[idx].size;
-  index_.erase(it);
+  index_.erase(id);
   free_node(idx);
   return true;
 }
@@ -180,11 +182,15 @@ void LruQueue::for_each_from_lru(
 }
 
 std::uint64_t LruQueue::metadata_bytes() const noexcept {
-  // Slab node + dense slot + hash bucket (node ptr + key/value) estimate.
+  // Slab node + dense slot + flat-index share. The index share is three
+  // inline slots: the open-addressing table runs between 1/4 and 1/2
+  // occupancy (max load 1/2 with power-of-two doubling), so 3x amortizes
+  // the slack at its midpoint.
   // Count live entries only: free-listed slab slots hold no object metadata,
   // and counting them overstated the footprint after churn (the slab is a
   // high-water mark, the index is the live population).
-  constexpr std::uint64_t kPerEntry = sizeof(Node) + 4 + 48;
+  constexpr std::uint64_t kPerEntry =
+      sizeof(Node) + 4 + 3 * FlatMap<std::uint64_t, std::uint32_t>::kSlotBytes;
   return static_cast<std::uint64_t>(index_.size()) * kPerEntry;
 }
 

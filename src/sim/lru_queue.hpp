@@ -1,8 +1,9 @@
 // Byte-capacity LRU queue: the shared substrate of every queue-based policy.
 //
 // Storage is a slab (stable u32 indices + free list) holding intrusive
-// doubly-linked-list nodes, plus an unordered_map from object id to slab
-// index. All queue operations used by the paper's policies are O(1):
+// doubly-linked-list nodes, plus a FlatMap from object id to slab index
+// (open addressing — no per-entry heap node on the request hot path).
+// All queue operations used by the paper's policies are O(1):
 //   insert at MRU / insert at LRU          (bimodal insertion, LIP, BIP)
 //   move to MRU (touch)                    (classic LRU promotion)
 //   move one step toward MRU               (PIPP promotion)
@@ -18,9 +19,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace cdn {
@@ -116,7 +117,7 @@ class LruQueue {
   std::vector<Node> slab_;
   std::vector<std::uint32_t> free_list_;
   std::vector<std::uint32_t> dense_;  ///< occupied slab slots, for sampling
-  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  FlatMap<std::uint64_t, std::uint32_t> index_;
   std::uint32_t head_ = kNull;  ///< MRU end
   std::uint32_t tail_ = kNull;  ///< LRU end
   std::uint64_t used_bytes_ = 0;

@@ -1,6 +1,9 @@
 #include "trace/trace_io.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -10,9 +13,41 @@ namespace cdn {
 
 namespace {
 constexpr char kMagic[8] = {'C', 'D', 'N', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint64_t kRecordBytes = 24;  ///< i64 time + u64 id + u64 size
 
 [[noreturn]] void io_fail(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + ": " + path);
+}
+
+// strtoll/strtoull saturate silently on overflow (setting only errno) and
+// happily parse a value out of "3junk" or a negative sign into an unsigned
+// field; each CSV field must be checked for all three.
+std::int64_t parse_i64_field(const char*& p, const std::string& path) {
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t v = std::strtoll(p, &end, 10);
+  if (end == p) io_fail("malformed CSV row", path);
+  if (errno == ERANGE) io_fail("out-of-range value in CSV row", path);
+  p = end;
+  return v;
+}
+
+std::uint64_t parse_u64_field(const char*& p, const std::string& path) {
+  // strtoull accepts a leading '-' and wraps the value; an unsigned trace
+  // field with a minus sign is malformed, not a huge number.
+  if (*p == '-') io_fail("malformed CSV row", path);
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(p, &end, 10);
+  if (end == p) io_fail("malformed CSV row", path);
+  if (errno == ERANGE) io_fail("out-of-range value in CSV row", path);
+  p = end;
+  return v;
+}
+
+void expect_comma(const char*& p, const std::string& path) {
+  if (*p != ',') io_fail("malformed CSV row", path);
+  ++p;
 }
 }  // namespace
 
@@ -41,16 +76,20 @@ Trace read_csv(const std::string& path, const std::string& name) {
       continue;  // header
     }
     Request r;
-    char* end = nullptr;
     const char* p = line.c_str();
-    r.time = std::strtoll(p, &end, 10);
-    if (end == p || *end != ',') io_fail("malformed CSV row", path);
-    p = end + 1;
-    r.id = std::strtoull(p, &end, 10);
-    if (end == p || *end != ',') io_fail("malformed CSV row", path);
-    p = end + 1;
-    r.size = std::strtoull(p, &end, 10);
-    if (end == p) io_fail("malformed CSV row", path);
+    r.time = parse_i64_field(p, path);
+    expect_comma(p, path);
+    r.id = parse_u64_field(p, path);
+    expect_comma(p, path);
+    r.size = parse_u64_field(p, path);
+    // Only trailing whitespace (a CRLF '\r' in particular) may follow the
+    // size field; "1,2,3junk" is a malformed row, not size 3.
+    while (*p != '\0') {
+      if (!std::isspace(static_cast<unsigned char>(*p))) {
+        io_fail("trailing garbage after CSV row", path);
+      }
+      ++p;
+    }
     if (r.size == 0) io_fail("zero-size object in CSV", path);
     trace.requests.push_back(r);
   }
@@ -82,6 +121,23 @@ Trace read_binary(const std::string& path, const std::string& name) {
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in) io_fail("truncated header", path);
+  // The header count is untrusted input: validate it against the actual
+  // bytes present before sizing the request vector, or a corrupt/truncated
+  // file with a huge count triggers a multi-GB allocation (std::bad_alloc,
+  // or worse, the OOM killer) before a single record is read.
+  const std::istream::pos_type body_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type file_end = in.tellg();
+  if (body_begin == std::istream::pos_type(-1) ||
+      file_end == std::istream::pos_type(-1)) {
+    io_fail("cannot determine file size", path);
+  }
+  const std::uint64_t body_bytes =
+      static_cast<std::uint64_t>(file_end - body_begin);
+  if (n > body_bytes / kRecordBytes) {
+    io_fail("truncated header (record count exceeds file size)", path);
+  }
+  in.seekg(body_begin);
   Trace trace;
   trace.name = name;
   trace.requests.resize(n);

@@ -11,11 +11,6 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-std::uint64_t hash64(std::uint64_t x) noexcept {
-  std::uint64_t s = x;
-  return splitmix64(s);
-}
-
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -18,8 +18,15 @@ namespace cdn {
 /// SplitMix64 step; used for seeding and as a cheap stateless hash.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
-/// Mixes a 64-bit value into a well-distributed 64-bit hash.
-[[nodiscard]] std::uint64_t hash64(std::uint64_t x) noexcept;
+/// Mixes a 64-bit value into a well-distributed 64-bit hash. The splitmix64
+/// finalizer, inline because it sits on the per-request hot path (every
+/// FlatMap probe in LruQueue/GhostList starts here).
+[[nodiscard]] inline std::uint64_t hash64(std::uint64_t x) noexcept {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// xoshiro256** PRNG with convenience distributions.
 class Rng {

@@ -10,15 +10,22 @@ namespace cdn {
 ZipfSampler::ZipfSampler(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
   if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
   if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha < 0");
+  pmf_.resize(n);
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    pmf_[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    acc += pmf_[r];
     cdf_[r] = acc;
   }
   const double norm = 1.0 / acc;
+  for (auto& w : pmf_) w *= norm;
   for (auto& c : cdf_) c *= norm;
-  cdf_.back() = 1.0;  // guard against accumulated rounding
+  // Guard against accumulated rounding so sample() cannot fall off the
+  // table when u draws in (cdf_[n-1], 1). The guard is a sampling artifact
+  // only: pmf() reports the normalized 1/r^alpha weights, which deriving
+  // the last rank's mass from the clamped CDF no longer equals.
+  cdf_.back() = 1.0;
 }
 
 std::size_t ZipfSampler::sample(Rng& rng) const {
@@ -29,7 +36,7 @@ std::size_t ZipfSampler::sample(Rng& rng) const {
 
 double ZipfSampler::pmf(std::size_t rank) const {
   assert(rank < n_);
-  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  return pmf_[rank];
 }
 
 }  // namespace cdn

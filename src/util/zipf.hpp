@@ -27,7 +27,9 @@ class ZipfSampler {
   /// Draws a rank in [0, n).
   [[nodiscard]] std::size_t sample(Rng& rng) const;
 
-  /// Probability mass of rank r.
+  /// Probability mass of rank r: the normalized 1/(r+1)^alpha weight. Not
+  /// derived from the CDF table — its last entry is clamped to exactly 1.0
+  /// as a sampling guard, which would corrupt the last rank's mass.
   [[nodiscard]] double pmf(std::size_t rank) const;
 
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
@@ -36,6 +38,7 @@ class ZipfSampler {
  private:
   std::size_t n_;
   double alpha_;
+  std::vector<double> pmf_;  // normalized weights; sums to 1 up to rounding
   std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_[n-1] == 1
 };
 

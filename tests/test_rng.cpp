@@ -156,6 +156,32 @@ TEST(Zipf, PmfSumsToOne) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(Zipf, LastRankPmfIsTheNormalizedWeight) {
+  // Regression: pmf() was derived from the CDF table, whose last entry is
+  // clamped to exactly 1.0 as a sampling guard — so the last rank's mass
+  // absorbed all accumulated rounding instead of equalling the normalized
+  // 1/r^alpha weight. pmf() must now reproduce the weight bit-for-bit
+  // (same arithmetic as the constructor: normalize by multiplying with
+  // 1.0 / sum).
+  for (const double alpha : {0.6, 0.9, 1.2}) {
+    const std::size_t n = 1'000;
+    ZipfSampler z(n, alpha);
+    double acc = 0.0;
+    std::vector<double> w(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      w[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+      acc += w[r];
+    }
+    const double norm = 1.0 / acc;
+    for (const std::size_t r : {n - 1, n - 2, std::size_t{0}}) {
+      EXPECT_DOUBLE_EQ(z.pmf(r), w[r] * norm) << "alpha=" << alpha;
+    }
+    // The tail must stay monotone with no epsilon: the clamped-CDF
+    // derivation could hand the last rank MORE mass than its neighbor.
+    EXPECT_LE(z.pmf(n - 1), z.pmf(n - 2)) << "alpha=" << alpha;
+  }
+}
+
 TEST(Zipf, PmfMonotoneDecreasing) {
   ZipfSampler z(50, 1.0);
   for (std::size_t r = 1; r < 50; ++r) {

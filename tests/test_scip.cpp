@@ -175,6 +175,24 @@ TEST(Scip, BeatsLruOnPhaseStructuredWorkload) {
   EXPECT_LT(r_scip.object_miss_ratio(), r_lru.object_miss_ratio());
 }
 
+TEST(Scip, MetadataCountsOnlyLiveStructures) {
+  // A small cache auto-disables the shadow monitors (monitor capacity
+  // below monitor_min_bytes), and an ablation can disable them explicitly.
+  // Either way the resource accounting must report only live structures:
+  // history lists plus the advisor's ~96 bytes of fixed scalar state. The
+  // pre-fix code charged the four monitors' fixed footprint (192 total)
+  // even when the constructor had disabled them, inflating the Fig. 9/11
+  // metadata columns for exactly the small caches where overhead matters.
+  ScipAdvisor small(1 << 20);  // monitor cap 32 KiB < 2 MiB floor
+  EXPECT_EQ(small.metadata_bytes(), 96u);
+
+  ScipAdvisor ablated(1ULL << 30, quiet_params());  // explicit ablation
+  EXPECT_EQ(ablated.metadata_bytes(), 96u);
+
+  ScipAdvisor live(1ULL << 30);  // monitors enabled, empty at construction
+  EXPECT_EQ(live.metadata_bytes(), 192u);
+}
+
 TEST(Scip, MetadataIncludesHistoryLists) {
   auto adv = std::make_shared<ScipAdvisor>(1 << 20, quiet_params());
   AdvisedLruCache c(1 << 20, adv);
