@@ -45,12 +45,23 @@ struct Args {
   std::size_t ops = 4'000'000; ///< mixed ops per trial
   std::size_t trials = 5;      ///< best-of (min wall) trials
   double scale = 0.25;         ///< CDN-T-like scale for the replay half
+  /// Ratcheted floor on the advisor's overhead: SCIP replay wall time must
+  /// stay within this factor of LRU's on the same trace (best-of-trials
+  /// each). The pre-optimization gap was ~2.5x. 0 = auto: 1.5 at smoke
+  /// scale (the CI-enforced floor — ghost state is mostly cache-resident,
+  /// so the ratio isolates advisor code overhead), 1.75 at full scale
+  /// (the ghost working set spills the LLC and the ratio additionally
+  /// carries SCIP's extra cold DRAM lines per miss; measured 1.59-1.60
+  /// best-of-5 on the reference host).
+  double max_scip_ratio = 0.0;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: bench_hotpath [--smoke] [--live N] [--ops N]\n"
-               "                     [--trials N] [--scale F]\n");
+               "                     [--trials N] [--scale F]\n"
+               "                     [--max-scip-ratio F  (0 = auto:\n"
+               "                      1.5 smoke / 1.75 full scale)]\n");
   return 2;
 }
 
@@ -278,34 +289,70 @@ int run(const Args& args) {
                            args.live, args.trials));
 
   // --- End-to-end: replay rps with the flat indexes in their real seats. -
+  // Replay streams the struct-of-arrays id/size columns (the only fields
+  // the queue policies read): 16 bytes of trace traffic per request instead
+  // of a 32-byte Request record, and the id column feeds the replay loop's
+  // lookahead prefetch. Results are deterministically equal to replaying
+  // the AoS trace (test_simulator pins that).
   const Trace trace = generate_trace(cdn_t_like(args.scale));
+  const TraceColumns cols =
+      to_columns(trace, /*keep_time=*/false, /*keep_next=*/false);
   const std::uint64_t capacity = static_cast<std::uint64_t>(
       0.117 * static_cast<double>(trace.working_set_bytes()));
   Table e2e({"policy", "replay rps", "warm obj miss", "metadata KiB"});
-  for (const char* policy : {"LRU", "SCIP"}) {
-    SimResult best;
-    for (std::size_t t = 0; t < args.trials; ++t) {
-      auto cache = make_cache(policy, capacity);
-      SimResult r = simulate(*cache, trace);
-      if (t == 0 || r.wall_seconds < best.wall_seconds) best = std::move(r);
+  // Interleave the two policies' trials (LRU, SCIP, LRU, SCIP, ...) instead
+  // of running each policy's trials as a contiguous phase. The ratio gate
+  // below divides one wall time by the other, and on a busy or
+  // frequency-scaling host two sequential phases sample different machine
+  // conditions — phase ordering alone swung the measured ratio by tens of
+  // percent. Adjacent trials see near-identical conditions, so best-of
+  // picks both policies' peaks from the same windows and the ratio isolates
+  // the advisor overhead it is meant to bound.
+  constexpr const char* kPolicies[] = {"LRU", "SCIP"};
+  SimResult best[2];
+  for (std::size_t t = 0; t < args.trials; ++t) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      auto cache = make_cache(kPolicies[p], capacity);
+      SimResult r = simulate(*cache, cols);
+      if (t == 0 || r.wall_seconds < best[p].wall_seconds) {
+        best[p] = std::move(r);
+      }
     }
-    e2e.add_row({policy, Table::fmt(best.tps(), 0),
-                 Table::pct(best.warm_object_miss_ratio()),
-                 Table::fmt(static_cast<double>(best.metadata_peak_bytes) /
+  }
+  const double lru_wall = best[0].wall_seconds;
+  const double scip_wall = best[1].wall_seconds;
+  for (std::size_t p = 0; p < 2; ++p) {
+    const SimResult& b = best[p];
+    e2e.add_row({kPolicies[p], Table::fmt(b.tps(), 0),
+                 Table::pct(b.warm_object_miss_ratio()),
+                 Table::fmt(static_cast<double>(b.metadata_peak_bytes) /
                                 1024.0,
                             0)});
-    report.add_row(sim_result_row(best));
+    obs::json::Value row = sim_result_row(b);
+    if (p == 1 && lru_wall > 0.0) {
+      row.set("scip_vs_lru_wall_ratio", b.wall_seconds / lru_wall);
+    }
+    report.add_row(std::move(row));
   }
-  std::printf("\n== End-to-end replay (%s, %zu requests, best of %zu) ==\n%s",
+  const double scip_ratio = lru_wall > 0.0 ? scip_wall / lru_wall : 0.0;
+  std::printf("\n== End-to-end replay (%s, %zu requests, best of %zu) ==\n%s"
+              "SCIP/LRU wall ratio: %.2fx (gate <= %.2fx)\n",
               trace.name.c_str(), trace.size(), args.trials,
-              e2e.str().c_str());
+              e2e.str().c_str(), scip_ratio, args.max_scip_ratio);
 
-  // --- Enforce the perf claim, validate, write. -------------------------
+  // --- Enforce the perf claims, validate, write. ------------------------
   if (speedup < 1.2) {
     std::fprintf(stderr,
                  "FAIL: FlatMap speedup %.2fx < 1.2x over "
                  "std::unordered_map on the hot-path mix\n",
                  speedup);
+    return 1;
+  }
+  if (scip_ratio > args.max_scip_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: SCIP replay wall time %.2fx LRU's exceeds the "
+                 "%.2fx advisor-overhead floor\n",
+                 scip_ratio, args.max_scip_ratio);
     return 1;
   }
   const std::string violation = obs::validate_bench_report(report.document());
@@ -353,6 +400,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return cdn::usage();
       args.scale = std::atof(v);
+    } else if (arg == "--max-scip-ratio") {
+      const char* v = next();
+      if (!v) return cdn::usage();
+      args.max_scip_ratio = std::atof(v);
     } else {
       return cdn::usage();
     }
@@ -366,8 +417,11 @@ int main(int argc, char** argv) {
     args.trials = 3;
     args.scale = 0.08;
   }
+  if (args.max_scip_ratio == 0.0) {
+    args.max_scip_ratio = args.smoke ? 1.5 : 1.75;
+  }
   if (args.live == 0 || args.ops == 0 || args.trials == 0 ||
-      args.scale <= 0.0) {
+      args.scale <= 0.0 || args.max_scip_ratio <= 0.0) {
     return cdn::usage();
   }
   return cdn::run(args);

@@ -1,8 +1,20 @@
 #include "core/scip_cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/scip_engine.hpp"
+
 namespace cdn {
+
+namespace {
+// Pre-reserve hint for the resident-set slab/index: ~4KiB objects,
+// capped for pathological capacities. Layout-only warm-up smoothing.
+std::size_t reserve_hint(std::uint64_t capacity_bytes) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(capacity_bytes / 4096 + 1, 1ULL << 16));
+}
+}  // namespace
 
 AdvisedLruCache::AdvisedLruCache(std::uint64_t capacity_bytes,
                                  std::shared_ptr<InsertionAdvisor> advisor)
@@ -10,46 +22,98 @@ AdvisedLruCache::AdvisedLruCache(std::uint64_t capacity_bytes,
   if (!advisor_) {
     throw std::invalid_argument("AdvisedLruCache: advisor is required");
   }
+  fast_ = dynamic_cast<ScipAdvisor*>(advisor_.get());
+  q_.reserve(reserve_hint(capacity_bytes));
 }
 
 std::string AdvisedLruCache::name() const { return advisor_->tag(); }
 
-void AdvisedLruCache::on_evict(const LruQueue::Node& victim) {
-  advisor_->on_evict(victim.id, victim.size, victim.insert_pos == 1,
-                     victim.hits > 0);
+void AdvisedLruCache::prefetch(std::uint64_t id) const noexcept {
+  const std::uint64_t h = hash64(id);
+  q_.prefetch_hashed(h);
+  if (fast_ != nullptr) {
+    fast_->prefetch_hashed(h);  // final -> direct call
+  } else {
+    advisor_->prefetch_hashed(h);
+  }
 }
 
-bool AdvisedLruCache::access(const Request& req) {
+void AdvisedLruCache::on_evict_hashed(const LruQueue::Node& victim,
+                                      std::uint64_t victim_hash) {
+  if (fast_ != nullptr) {
+    fast_->on_evict_hashed(victim.id, victim.size, victim.insert_pos == 1,
+                           victim.hits > 0, victim_hash);
+  } else {
+    advisor_->on_evict_hashed(victim.id, victim.size, victim.insert_pos == 1,
+                              victim.hits > 0, victim_hash);
+  }
+}
+
+template <typename A>
+bool AdvisedLruCache::access_impl(const Request& req, A& adv) {
   ++tick_;
-  if (LruQueue::Node* node = q_.find(req.id)) {
-    // PROMOTE = REMOVE + INSERT; the removed copy is NOT written to any
-    // history list (Algorithm 1, line 24).
-    LruQueue::Node copy = *node;
-    q_.erase(req.id);
-    const bool mru = advisor_->choose_mru_for_hit(req, copy.hits + 1);
-    LruQueue::Node& n = mru ? q_.insert_mru(req.id, copy.size)
-                            : q_.insert_lru(req.id, copy.size);
-    n.hits = copy.hits + 1;
-    n.insert_tick = copy.insert_tick;
+  const std::uint64_t h = hash64(req.id);
+  if (LruQueue::Node* node = q_.find_hashed(req.id, h)) {
+    // PROMOTE = REMOVE + INSERT; the object is NOT written to any history
+    // list (Algorithm 1, line 24). The REMOVE + INSERT pair executes as an
+    // in-place re-insertion: same slab slot, same index entry — equivalent
+    // to the erase + insert + field-restore it replaces, without the two
+    // extra index probes and the backward-shift delete.
+    const std::uint32_t hits = node->hits + 1;
+    const bool mru = adv.choose_mru_for_hit(req, hits);
+    LruQueue::Node& n = mru ? q_.reinsert_mru(*node) : q_.reinsert_lru(*node);
+    n.hits = hits;
     n.last_tick = tick_;
-    // insert_pos is set by insert_mru/insert_lru: the new mark decides the
-    // history list the object lands in when eventually evicted.
-    advisor_->on_request(req, true);
+    // insert_tick is preserved in place; insert_pos is set by reinsert_*:
+    // the new mark decides the history list the object lands in when
+    // eventually evicted.
+    adv.on_request_hashed(req, true, h);
     return true;
   }
 
-  advisor_->on_miss(req);
+  // Victim lookahead: on an evicting miss the first victim is already
+  // known — the queue keeps its id in a tail shadow, so naming it costs no
+  // node read. Start fetching everything the eviction will touch (the
+  // victim node, its history-list index homes, the lists' drop-end
+  // records) NOW; the advisor's miss work and the queue's pop then retire
+  // on top of those fetches instead of in front of them. This chain —
+  // read cold tail node, hash, probe cold ghost index — is serial DRAM
+  // latency and measured as the whole SCIP-vs-LRU replay gap.
+  const bool evicting =
+      !q_.empty() && q_.used_bytes() + req.size > capacity_;
+  if (evicting) {
+    q_.prefetch_lru_node();
+    adv.prefetch_evict_hashed(hash64(q_.lru_id()), q_.lru_insert_pos() == 1);
+  }
+  adv.on_miss_hashed(req, h);
   if (!fits(req.size)) {
-    advisor_->on_request(req, false);
+    adv.on_request_hashed(req, false, h);
     return false;
   }
-  make_room(req.size);  // EVICT -> on_evict -> H_m / H_l
-  const bool mru = advisor_->choose_mru_for_miss(req);
-  LruQueue::Node& n = mru ? q_.insert_mru(req.id, req.size)
-                          : q_.insert_lru(req.id, req.size);
+  // make_room(), unrolled so each FOLLOWING victim's lines are hinted
+  // before the current victim's history-list add runs. Same loop condition
+  // and eviction order as make_room.
+  while (!q_.empty() && q_.used_bytes() + req.size > capacity_) {
+    std::uint64_t victim_hash = 0;
+    const LruQueue::Node victim = q_.pop_lru(&victim_hash);
+    if (!q_.empty() && q_.used_bytes() + req.size > capacity_) {
+      q_.prefetch_lru_node();
+      adv.prefetch_evict_hashed(hash64(q_.lru_id()), q_.lru_insert_pos() == 1);
+    }
+    adv.on_evict_hashed(victim.id, victim.size, victim.insert_pos == 1,
+                        victim.hits > 0, victim_hash);
+  }
+  const bool mru = adv.choose_mru_for_miss(req);
+  LruQueue::Node& n = mru ? q_.insert_mru_hashed(req.id, req.size, h)
+                          : q_.insert_lru_hashed(req.id, req.size, h);
   n.insert_tick = n.last_tick = tick_;
-  advisor_->on_request(req, false);
+  adv.on_request_hashed(req, false, h);
   return false;
+}
+
+bool AdvisedLruCache::access(const Request& req) {
+  return fast_ != nullptr ? access_impl(req, *fast_)
+                          : access_impl(req, *advisor_);
 }
 
 std::uint64_t AdvisedLruCache::metadata_bytes() const {

@@ -19,6 +19,8 @@
 
 namespace cdn {
 
+class ScipAdvisor;
+
 class AdvisedLruCache final : public QueueCache, public obs::Introspectable {
  public:
   AdvisedLruCache(std::uint64_t capacity_bytes,
@@ -34,11 +36,26 @@ class AdvisedLruCache final : public QueueCache, public obs::Introspectable {
 
   [[nodiscard]] InsertionAdvisor& advisor() { return *advisor_; }
 
+  /// Prefetches the queue-index home slot AND the advisor's history-list
+  /// slots for `id` (one hash64, shared by all of them). Advisory only.
+  void prefetch(std::uint64_t id) const noexcept override;
+
  protected:
-  void on_evict(const LruQueue::Node& victim) override;
+  void on_evict_hashed(const LruQueue::Node& victim,
+                       std::uint64_t victim_hash) override;
 
  private:
+  // One access() body, instantiated twice: over the abstract advisor
+  // (virtual dispatch per event hook) and over a concrete ScipAdvisor
+  // whose hot hooks are `final` — the compiler then devirtualizes and
+  // inlines the whole SCIP event path into the host's request loop, which
+  // removes four to five indirect calls per request on the policy this
+  // repo exists to measure. Identical source, so behavior cannot diverge.
+  template <typename A>
+  bool access_impl(const Request& req, A& adv);
+
   std::shared_ptr<InsertionAdvisor> advisor_;
+  ScipAdvisor* fast_ = nullptr;  ///< set when the advisor is a ScipAdvisor
 };
 
 }  // namespace cdn

@@ -8,37 +8,64 @@ namespace cdn {
 namespace {
 std::uint64_t half_capacity(std::uint64_t cache_capacity,
                             const ScipParams& p) {
-  return static_cast<std::uint64_t>(std::max(
-      1.0, p.history_fraction * static_cast<double>(cache_capacity)));
+  return ScipAdvisor::history_list_capacity(cache_capacity,
+                                            p.history_fraction);
 }
 std::uint64_t monitor_capacity(std::uint64_t cache_capacity,
                                const ScipParams& p) {
   return std::max<std::uint64_t>(cache_capacity >> p.monitor_cap_shift, 1);
 }
+// Pre-reserve hint for slabs/indexes sized in bytes: assume ~4KiB objects
+// (conservative for CDN traces), capped so pathological capacities (the
+// boundary tests construct advisors at 2^63 bytes) don't balloon memory.
+// Layout-only — the free-listed slabs grow on demand either way; this just
+// moves the handful of warm-up reallocations to construction time.
+std::size_t reserve_hint(std::uint64_t capacity_bytes) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(capacity_bytes / 4096 + 1, 1ULL << 16));
+}
 }  // namespace
 
-bool ScipAdvisor::ShadowMonitor::access(const Request& req) {
-  if (LruQueue::Node* n = q_.find(req.id)) {
+std::uint64_t ScipAdvisor::history_list_capacity(
+    std::uint64_t cache_capacity, double history_fraction) noexcept {
+  // floor(fraction * capacity) in 64.32 fixed point: exact for every u64
+  // capacity, unlike `fraction * double(capacity)` which loses integer
+  // precision above 2^53 and rounds by the double rounding mode.
+  const auto num = static_cast<std::uint64_t>(
+      std::llround(history_fraction * 4294967296.0));  // fraction * 2^32
+  const auto scaled = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(cache_capacity) * num) >> 32);
+  return std::max<std::uint64_t>(scaled, 1);
+}
+
+ScipAdvisor::ShadowMonitor::ShadowMonitor(std::uint64_t capacity, Mode mode)
+    : capacity_(capacity), mode_(mode) {
+  q_.reserve(reserve_hint(capacity));
+}
+
+ScipAdvisor::ShadowMonitor::Outcome ScipAdvisor::ShadowMonitor::access(
+    const Request& req, std::uint64_t h) {
+  if (LruQueue::Node* n = q_.find_hashed(req.id, h)) {
     ++n->hits;
     if (mode_ == Mode::kDemoteOnHit && n->hits == 1) {
       // Conservative P-ZRO expert: a first residency hit is consistent
       // with a dying pair; a second hit proves liveness.
-      q_.demote_lru(req.id);
+      q_.demote_lru(*n);
     } else {
-      q_.touch_mru(req.id);
+      q_.touch_mru(*n);
     }
-    return true;
+    return Outcome::kHit;
   }
-  if (req.size > capacity_) return false;
+  if (req.size > capacity_) return Outcome::kExcluded;
   while (q_.used_bytes() + req.size > capacity_ && !q_.empty()) q_.pop_lru();
   // The "LRU arm" is BIP (epsilon = 1/32 of misses still enter at MRU),
   // matching what the main cache executes when the duel favors it.
   if (mode_ == Mode::kBipInsert && !bip_rng_.chance(1.0 / 32.0)) {
-    q_.insert_lru(req.id, req.size);
+    q_.insert_lru_hashed(req.id, req.size, h);
   } else {
-    q_.insert_mru(req.id, req.size);
+    q_.insert_mru_hashed(req.id, req.size, h);
   }
-  return false;
+  return Outcome::kMiss;
 }
 
 ScipAdvisor::ScipAdvisor(std::uint64_t cache_capacity, ScipParams params)
@@ -60,6 +87,8 @@ ScipAdvisor::ScipAdvisor(std::uint64_t cache_capacity, ScipParams params)
   if (monitor_capacity(cache_capacity, params) < params.monitor_min_bytes) {
     params_.use_monitors = false;
   }
+  hm_.reserve(reserve_hint(hm_.capacity()));
+  hl_.reserve(reserve_hint(hl_.capacity()));
   // Neutral miss prior (the duel resolves within a few thousand requests);
   // MRU-favoring promotion prior — demotion must prove itself first.
   psel_miss_ = 0;
@@ -78,125 +107,6 @@ void ScipAdvisor::update_weights_from_psel() {
                 ? 1.0
                 : params_.miss_weight_floor;
   w_prom_ = psel_prom_ >= params_.prom_threshold ? 1.0 : 0.05;
-}
-
-void ScipAdvisor::on_miss(const Request& req) {
-  // Algorithm 1, lines 6-13: consult and DELETE. The history hit adjusts
-  // this object's own placement (per-object override) and nudges the
-  // judged expert's ambient weight through the duel counters.
-  pending_override_ = 0;
-  // Per-object adjustment (§3.2: "the insertion position of the object
-  // should be adjusted"), applied with a probability driven by the
-  // Algorithm-2 learning rate: when overrides help the window hit rate,
-  // lambda grows and they fire more often; when they hurt, it decays.
-  // Ghost evidence deliberately does NOT feed the duel counters — its
-  // event rate is an order of magnitude above the monitors' slice rate and
-  // would drown the paired comparison that anchors the global weights.
-  const double p_apply = std::min(1.0, 2.0 * lr_.lambda());
-  // An id can be resident in BOTH lists (each list only self-dedupes on
-  // add): evicted once as MRU-inserted, later as LRU-inserted. The paper's
-  // DELETE must clear every record of the object on a history hit —
-  // leaving the other list's record behind injects stale, contradictory
-  // override evidence on a later miss. H_m evidence (the more recent
-  // judgement of an MRU placement) takes precedence for the override.
-  bool hm_was_hit = false;
-  bool hl_was_hit = false;
-  const bool in_hm = hm_.erase(req.id, nullptr, &hm_was_hit);
-  const bool in_hl = hl_.erase(req.id, nullptr, &hl_was_hit);
-  if (!in_hm && !in_hl) return;
-  if (!params_.per_object_override || !rng_.chance(p_apply)) return;
-  if (in_hm) {
-    // Hit token False (ASC-IP's ZRO signal): its MRU placement wasted a
-    // full traversal without a single hit — a ZRO. Exile this insertion.
-    // A victim that WAS hit and still evicted was flushed under pressure
-    // (e.g. a scan): demonstrably reusable — keep it at MRU.
-    pending_override_ = hm_was_hit ? +1 : -1;
-  } else {
-    // Its LRU placement threw away a would-be hit.
-    pending_override_ = +1;
-  }
-  pending_override_id_ = req.id;
-}
-
-bool ScipAdvisor::choose_mru_for_miss(const Request& req) {
-  bool mru;
-  if (pending_override_ != 0 && pending_override_id_ == req.id) {
-    mru = pending_override_ > 0;
-    pending_override_ = 0;
-    ++overrides_;
-  } else {
-    mru = w_miss_ > rng_.uniform();
-  }
-  ++(mru ? miss_mru_inserts_ : miss_lru_inserts_);
-  return mru;
-}
-
-bool ScipAdvisor::choose_mru_for_hit(const Request& /*req*/,
-                                     std::uint32_t residency_hits) {
-  // Promotion is a special insertion: SELECT over the promotion weights.
-  // An "LIP" outcome re-inserts the hit object near the LRU end — the
-  // treatment of a suspected P-ZRO. The suspicion only applies to the
-  // P-ZRO risk class (first residency hit); proven-live objects promote.
-  if (residency_hits > 1) return true;
-  ++prom_decisions_;
-  const bool mru = w_prom_ > rng_.uniform();
-  if (!mru) ++prom_demotions_;
-  return mru;
-}
-
-void ScipAdvisor::on_evict(std::uint64_t id, std::uint64_t size,
-                           bool was_mru_inserted, bool had_hits) {
-  // Algorithm 1, lines 15-19 (ADD keeps each list FIFO).
-  if (was_mru_inserted) {
-    hm_.add(id, size, had_hits);
-  } else {
-    hl_.add(id, size, had_hits);
-  }
-}
-
-void ScipAdvisor::on_request(const Request& req, bool hit) {
-  // Feed the shadow-monitor duels from disjoint 1/2^shift traffic slices.
-  if (params_.use_monitors) {
-    const std::uint64_t h = hash64(req.id);
-    const std::uint64_t miss_slice =
-        h & ((1ULL << params_.monitor_slice_shift) - 1);
-    if (miss_slice == 0) {
-      if (!mon_mru_.access(req)) --psel_miss_;
-    } else if (miss_slice == 1) {
-      if (!mon_lip_.access(req)) ++psel_miss_;
-    }
-    // The promotion duel slices with monitor_slice_shift, exactly like the
-    // miss duel, from the next (disjoint) block of hash bits. Masking with
-    // monitor_cap_shift here once fed each promotion monitor a 1/32 traffic
-    // slice into a 1/32-capacity cache, silently dropping the documented 2x
-    // relative capacity and biasing the P-ZRO demotion evidence.
-    const std::uint64_t prom_slice =
-        (h >> params_.monitor_slice_shift) &
-        ((1ULL << params_.monitor_slice_shift) - 1);
-    if (miss_slice <= 1) ++miss_duel_feeds_;
-    if (prom_slice <= 1) ++prom_duel_feeds_;
-    if (prom_slice == 0) {
-      if (!mon_mru_prom_.access(req)) --psel_prom_;
-    } else if (prom_slice == 1) {
-      if (!mon_demote_.access(req)) ++psel_prom_;
-    }
-    psel_miss_ = std::clamp(psel_miss_, -params_.psel_max, params_.psel_max);
-    psel_prom_ =
-        std::clamp(psel_prom_, -params_.prom_psel_max, params_.prom_psel_max);
-    update_weights_from_psel();
-  }
-
-  // Algorithm 2: adapt lambda (the evidence-nudge magnitude) on the window
-  // hit rate.
-  ++window_requests_;
-  if (hit) ++window_hits_;
-  if (window_requests_ >= params_.update_interval) {
-    lr_.update(static_cast<double>(window_hits_) /
-                   static_cast<double>(window_requests_),
-               rng_);
-    window_hits_ = 0;
-    window_requests_ = 0;
-  }
 }
 
 void ScipAdvisor::sample_metrics(obs::MetricRegistry& reg) {
@@ -232,20 +142,39 @@ void ScipAdvisor::sample_metrics(obs::MetricRegistry& reg) {
       .raise_to(static_cast<std::uint64_t>(lr_.restarts()));
 }
 
+std::uint64_t ScipAdvisor::fixed_state_bytes() noexcept {
+  // The advisor's fixed scalar state: learned weights, duel counters, the
+  // Algorithm-2 lambda adapter, the decision RNG, and the one-shot
+  // per-object override latch. Derived from the member types so a field
+  // added to any of them flows into the resource-accounting columns
+  // automatically — the hand-counted 96 this replaces could not.
+  return sizeof(double) * 2                    // w_miss_, w_prom_
+         + sizeof(int) * 2                     // psel_miss_, psel_prom_
+         + sizeof(ml::AdaptiveLearningRate)    // lr_
+         + sizeof(Rng)                         // rng_
+         + sizeof(int) + sizeof(std::uint64_t);  // pending override latch
+}
+
+std::uint64_t ScipAdvisor::monitor_fixed_bytes() noexcept {
+  // Whole-object footprint of one shadow monitor minus its queue's
+  // per-entry storage (charged separately, per live entry): capacity, mode,
+  // BIP RNG, and the queue's container headers.
+  return sizeof(ShadowMonitor);
+}
+
 std::uint64_t ScipAdvisor::metadata_bytes() const {
   // Report only live structures. The history lists and the advisor's fixed
-  // scalar state (weights, duel counters, lambda adapter, RNG, pending
-  // override: ~96 bytes) always exist; the four shadow monitors and their
-  // fixed per-monitor state (capacity/mode/queue headers/BIP RNG: ~24 bytes
-  // each) only count when the duels are enabled — the constructor disables
-  // them below monitor_min_bytes, and charging disabled monitors inflated
-  // the resource-accounting columns for exactly the small caches where
-  // metadata overhead matters most.
-  std::uint64_t total = hm_.metadata_bytes() + hl_.metadata_bytes() + 96;
+  // scalar state always exist; the four shadow monitors and their fixed
+  // per-monitor state only count when the duels are enabled — the
+  // constructor disables them below monitor_min_bytes, and charging
+  // disabled monitors inflated the resource-accounting columns for exactly
+  // the small caches where metadata overhead matters most.
+  std::uint64_t total =
+      hm_.metadata_bytes() + hl_.metadata_bytes() + fixed_state_bytes();
   if (params_.use_monitors) {
     total += mon_mru_.metadata_bytes() + mon_lip_.metadata_bytes() +
              mon_mru_prom_.metadata_bytes() + mon_demote_.metadata_bytes() +
-             4 * 24;
+             4 * monitor_fixed_bytes();
   }
   return total;
 }

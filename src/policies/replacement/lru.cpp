@@ -4,15 +4,16 @@ namespace cdn {
 
 bool LruCache::access(const Request& req) {
   ++tick_;
-  if (LruQueue::Node* node = q_.find(req.id)) {
+  const std::uint64_t h = hash64(req.id);
+  if (LruQueue::Node* node = q_.find_hashed(req.id, h)) {
     ++node->hits;
     node->last_tick = tick_;
-    q_.touch_mru(req.id);
+    q_.touch_mru(*node);
     return true;
   }
   if (!fits(req.size)) return false;
   make_room(req.size);
-  LruQueue::Node& node = q_.insert_mru(req.id, req.size);
+  LruQueue::Node& node = q_.insert_mru_hashed(req.id, req.size, h);
   node.insert_tick = node.last_tick = tick_;
   return false;
 }

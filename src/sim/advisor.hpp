@@ -26,6 +26,15 @@ class InsertionAdvisor {
   /// Called on every cache miss before insertion (Algorithm 1, lines 6-13).
   virtual void on_miss(const Request& /*req*/) {}
 
+  /// on_miss with the host's precomputed hash64(req.id). Hosts call these
+  /// `_hashed` hooks (distinct names, not overloads, so an advisor that
+  /// overrides only the plain hook is never shadowed); the defaults delegate
+  /// to the unhashed virtuals, so advisors that don't care about the hash
+  /// behave identically.
+  virtual void on_miss_hashed(const Request& req, std::uint64_t /*h*/) {
+    on_miss(req);
+  }
+
   /// Position decision for inserting a missing object. True = MRU.
   virtual bool choose_mru_for_miss(const Request& req) = 0;
 
@@ -41,9 +50,36 @@ class InsertionAdvisor {
   virtual void on_evict(std::uint64_t /*id*/, std::uint64_t /*size*/,
                         bool /*was_mru_inserted*/, bool /*had_hits*/) {}
 
+  /// on_evict with hash64(id) (the host's queue computed it for its own
+  /// index erase; SCIP reuses it for the history-list ADD).
+  virtual void on_evict_hashed(std::uint64_t id, std::uint64_t size,
+                               bool was_mru_inserted, bool had_hits,
+                               std::uint64_t /*h*/) {
+    on_evict(id, size, was_mru_inserted, had_hits);
+  }
+
   /// Called once per request with the hit/miss outcome. Drives the hit-rate
   /// window (Algorithm 2) and feeds SCIP's sampled shadow monitors.
   virtual void on_request(const Request& /*req*/, bool /*hit*/) {}
+
+  /// on_request with the host's precomputed hash64(req.id).
+  virtual void on_request_hashed(const Request& req, bool hit,
+                                 std::uint64_t /*h*/) {
+    on_request(req, hit);
+  }
+
+  /// Advisory prefetch hint: the host is about to process a request whose
+  /// id hashes to `h`. Never changes behavior; default ignores it.
+  virtual void prefetch_hashed(std::uint64_t /*h*/) const noexcept {}
+
+  /// Advisory prefetch hint: the host has detected an evicting miss and the
+  /// next victim's id hashes to `h`; `victim_mru` reports the victim's
+  /// insertion mark (true = was inserted at MRU). on_evict* for that victim
+  /// follows after the queue's own pop work, so the advisor can start
+  /// fetching the history-list lines the eviction will touch — the mark
+  /// tells it which list, so it need not hint both. Never changes behavior.
+  virtual void prefetch_evict_hashed(std::uint64_t /*h*/,
+                                     bool /*victim_mru*/) const noexcept {}
 
   /// Advisor state footprint (history lists, thresholds, model).
   [[nodiscard]] virtual std::uint64_t metadata_bytes() const { return 0; }

@@ -32,6 +32,13 @@ class Cache {
   /// True if the object is currently resident.
   [[nodiscard]] virtual bool contains(std::uint64_t id) const = 0;
 
+  /// Advisory hint that `id` will be accessed shortly: policies may issue
+  /// software prefetches for the index slots access(id) will probe. Purely
+  /// an optimization — MUST NOT change any policy decision or statistic.
+  /// The replay loop and the sharded server's batch path call this a few
+  /// requests ahead to overlap probe-miss latency across requests.
+  virtual void prefetch(std::uint64_t /*id*/) const noexcept {}
+
   /// Bytes currently occupied by resident objects.
   [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
 

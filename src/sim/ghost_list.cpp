@@ -5,78 +5,19 @@ namespace cdn {
 GhostList::GhostList(std::uint64_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
-std::uint32_t GhostList::alloc_rec() {
-  if (!free_list_.empty()) {
-    const std::uint32_t idx = free_list_.back();
-    free_list_.pop_back();
-    return idx;
-  }
-  slab_.emplace_back();
-  return static_cast<std::uint32_t>(slab_.size() - 1);
-}
-
-void GhostList::free_rec(std::uint32_t idx) {
-  slab_[idx] = Rec{};  // reset for reuse
-  free_list_.push_back(idx);
-}
-
-void GhostList::unlink(std::uint32_t idx) {
-  Rec& r = slab_[idx];
-  if (r.prev_ != kNull) {
-    slab_[r.prev_].next_ = r.next_;
-  } else {
-    head_ = r.next_;
-  }
-  if (r.next_ != kNull) {
-    slab_[r.next_].prev_ = r.prev_;
-  } else {
-    tail_ = r.prev_;
-  }
-  r.prev_ = r.next_ = kNull;
-}
-
 void GhostList::add(std::uint64_t id, std::uint64_t size, bool tag) {
-  erase(id);
-  if (size > capacity_) return;  // cannot ever fit; don't thrash the list
-  const std::uint32_t idx = alloc_rec();
-  Rec& r = slab_[idx];
-  r.id = id;
-  r.size = size;
-  r.tag = tag;
-  r.prev_ = kNull;
-  r.next_ = head_;
-  if (head_ != kNull) slab_[head_].prev_ = idx;
-  head_ = idx;
-  if (tail_ == kNull) tail_ = idx;
-  index_.insert(id, idx);
-  used_bytes_ += size;
-  evict_to_fit();
+  add_hashed(id, size, tag, hash64(id));
 }
 
 bool GhostList::erase(std::uint64_t id, std::uint64_t* size_out,
                       bool* tag_out) {
-  const std::uint32_t* p = index_.find(id);
-  if (p == nullptr) return false;
-  const std::uint32_t idx = *p;
-  const Rec& r = slab_[idx];
-  if (size_out) *size_out = r.size;
-  if (tag_out) *tag_out = r.tag;
-  used_bytes_ -= r.size;
-  unlink(idx);
-  index_.erase(id);
-  free_rec(idx);
-  return true;
+  return erase_hashed(id, hash64(id), size_out, tag_out);
 }
 
-void GhostList::evict_to_fit() {
-  while (used_bytes_ > capacity_ && tail_ != kNull) {
-    const std::uint32_t idx = tail_;
-    const Rec& oldest = slab_[idx];
-    used_bytes_ -= oldest.size;
-    index_.erase(oldest.id);
-    unlink(idx);
-    free_rec(idx);
-  }
+void GhostList::reserve(std::size_t n) {
+  slab_.reserve(n);
+  free_list_.reserve(n);
+  index_.reserve(n);
 }
 
 }  // namespace cdn

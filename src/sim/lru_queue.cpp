@@ -5,12 +5,16 @@
 namespace cdn {
 
 LruQueue::Node* LruQueue::find(std::uint64_t id) {
-  const std::uint32_t* idx = index_.find(id);
-  return idx == nullptr ? nullptr : &slab_[*idx];
+  return find_hashed(id, hash64(id));
 }
 
 const LruQueue::Node* LruQueue::find(std::uint64_t id) const {
   const std::uint32_t* idx = index_.find(id);
+  return idx == nullptr ? nullptr : &slab_[*idx];
+}
+
+LruQueue::Node* LruQueue::find_hashed(std::uint64_t id, std::uint64_t h) {
+  const std::uint32_t* idx = index_.find_hashed(id, h);
   return idx == nullptr ? nullptr : &slab_[*idx];
 }
 
@@ -41,7 +45,11 @@ void LruQueue::link_mru(std::uint32_t idx) {
   n.next_ = head_;
   if (head_ != kNull) slab_[head_].prev_ = idx;
   head_ = idx;
-  if (tail_ == kNull) tail_ = idx;
+  if (tail_ == kNull) {
+    tail_ = idx;
+    tail_id_ = n.id;
+    tail_pos_ = n.insert_pos;
+  }
 }
 
 void LruQueue::link_lru(std::uint32_t idx) {
@@ -50,6 +58,8 @@ void LruQueue::link_lru(std::uint32_t idx) {
   n.prev_ = tail_;
   if (tail_ != kNull) slab_[tail_].next_ = idx;
   tail_ = idx;
+  tail_id_ = n.id;
+  tail_pos_ = n.insert_pos;
   if (head_ == kNull) head_ = idx;
 }
 
@@ -64,11 +74,25 @@ void LruQueue::unlink(std::uint32_t idx) {
     slab_[n.next_].prev_ = n.prev_;
   } else {
     tail_ = n.prev_;
+    if (n.prev_ != kNull) {
+      tail_id_ = slab_[n.prev_].id;
+      tail_pos_ = slab_[n.prev_].insert_pos;
+    }
   }
   n.prev_ = n.next_ = kNull;
 }
 
 LruQueue::Node& LruQueue::insert_mru(std::uint64_t id, std::uint64_t size) {
+  return insert_mru_hashed(id, size, hash64(id));
+}
+
+LruQueue::Node& LruQueue::insert_lru(std::uint64_t id, std::uint64_t size) {
+  return insert_lru_hashed(id, size, hash64(id));
+}
+
+LruQueue::Node& LruQueue::insert_mru_hashed(std::uint64_t id,
+                                            std::uint64_t size,
+                                            std::uint64_t h) {
   assert(!contains(id));
   const std::uint32_t idx = alloc_node();
   Node& n = slab_[idx];
@@ -77,13 +101,15 @@ LruQueue::Node& LruQueue::insert_mru(std::uint64_t id, std::uint64_t size) {
   n.insert_pos = 1;
   n.dense_pos_ = static_cast<std::uint32_t>(dense_.size());
   dense_.push_back(idx);
-  index_.insert(id, idx);
+  index_.insert_hashed(id, idx, h);
   used_bytes_ += size;
   link_mru(idx);
   return n;
 }
 
-LruQueue::Node& LruQueue::insert_lru(std::uint64_t id, std::uint64_t size) {
+LruQueue::Node& LruQueue::insert_lru_hashed(std::uint64_t id,
+                                            std::uint64_t size,
+                                            std::uint64_t h) {
   assert(!contains(id));
   const std::uint32_t idx = alloc_node();
   Node& n = slab_[idx];
@@ -92,7 +118,7 @@ LruQueue::Node& LruQueue::insert_lru(std::uint64_t id, std::uint64_t size) {
   n.insert_pos = 0;
   n.dense_pos_ = static_cast<std::uint32_t>(dense_.size());
   dense_.push_back(idx);
-  index_.insert(id, idx);
+  index_.insert_hashed(id, idx, h);
   used_bytes_ += size;
   link_lru(idx);
   return n;
@@ -105,6 +131,36 @@ void LruQueue::touch_mru(std::uint64_t id) {
   if (head_ == idx) return;
   unlink(idx);
   link_mru(idx);
+}
+
+void LruQueue::touch_mru(Node& n) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(&n - slab_.data());
+  if (head_ == idx) return;
+  unlink(idx);
+  link_mru(idx);
+}
+
+void LruQueue::demote_lru(Node& n) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(&n - slab_.data());
+  if (tail_ == idx) return;
+  unlink(idx);
+  link_lru(idx);
+}
+
+LruQueue::Node& LruQueue::reinsert_mru(Node& n) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(&n - slab_.data());
+  n.insert_pos = 1;  // before relink: link_* reads it for the tail shadow
+  unlink(idx);
+  link_mru(idx);
+  return n;
+}
+
+LruQueue::Node& LruQueue::reinsert_lru(Node& n) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(&n - slab_.data());
+  n.insert_pos = 0;  // before relink: link_* reads it for the tail shadow
+  unlink(idx);
+  link_lru(idx);
+  return n;
 }
 
 void LruQueue::move_up_one(std::uint64_t id) {
@@ -137,31 +193,50 @@ void LruQueue::demote_lru(std::uint64_t id) {
 }
 
 LruQueue::Node LruQueue::pop_lru() {
+  std::uint64_t unused_hash = 0;
+  return pop_lru(&unused_hash);
+}
+
+LruQueue::Node LruQueue::pop_lru(std::uint64_t* victim_hash_out) {
   assert(tail_ != kNull);
   const std::uint32_t idx = tail_;
+#if defined(__GNUC__) || defined(__clang__)
+  // free_node's swap-remove writes through slab_[dense_.back()] — a random
+  // slot, cold almost every eviction. Its address is known before the
+  // victim read / hash / index erase chain; start the fetch under them.
+  __builtin_prefetch(&slab_[dense_.back()], 1);
+#endif
   Node copy = slab_[idx];
+  const std::uint64_t h = hash64(copy.id);
   unlink(idx);
-  index_.erase(copy.id);
+  index_.erase_hashed(copy.id, h);
   used_bytes_ -= copy.size;
   free_node(idx);
+  *victim_hash_out = h;
   return copy;
 }
 
 bool LruQueue::erase(std::uint64_t id, Node* out) {
-  const std::uint32_t* p = index_.find(id);
+  return erase_hashed(id, hash64(id), out);
+}
+
+bool LruQueue::erase_hashed(std::uint64_t id, std::uint64_t h, Node* out) {
+  const std::uint32_t* p = index_.find_hashed(id, h);
   if (p == nullptr) return false;
   const std::uint32_t idx = *p;
   if (out) *out = slab_[idx];
   unlink(idx);
   used_bytes_ -= slab_[idx].size;
-  index_.erase(id);
+  index_.erase_hashed(id, h);
   free_node(idx);
   return true;
 }
 
-std::uint64_t LruQueue::lru_id() const {
-  assert(tail_ != kNull);
-  return slab_[tail_].id;
+void LruQueue::reserve(std::size_t n) {
+  slab_.reserve(n);
+  dense_.reserve(n);
+  free_list_.reserve(n);
+  index_.reserve(n);
 }
 
 std::uint64_t LruQueue::mru_id() const {

@@ -17,6 +17,7 @@
 // the ~110-byte inode metadata TDC keeps in memory (§5.1).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -60,10 +61,17 @@ class LruQueue {
   /// mutation of the queue.
   [[nodiscard]] Node* find(std::uint64_t id);
   [[nodiscard]] const Node* find(std::uint64_t id) const;
+  /// find() with the caller-precomputed hash64(id) — the per-request path
+  /// hashes each id exactly once and threads the hash through every probe.
+  [[nodiscard]] Node* find_hashed(std::uint64_t id, std::uint64_t h);
 
   /// Inserts a new object (must not be present). Returns its node.
   Node& insert_mru(std::uint64_t id, std::uint64_t size);
   Node& insert_lru(std::uint64_t id, std::uint64_t size);
+  Node& insert_mru_hashed(std::uint64_t id, std::uint64_t size,
+                          std::uint64_t h);
+  Node& insert_lru_hashed(std::uint64_t id, std::uint64_t size,
+                          std::uint64_t h);
 
   /// Moves an existing object to the MRU end. No-op if absent.
   void touch_mru(std::uint64_t id);
@@ -73,13 +81,72 @@ class LruQueue {
   /// Moves an existing object to the LRU end (demotion). No-op if absent.
   void demote_lru(std::uint64_t id);
 
+  // Node-based relinks: `n` must be a live node obtained from find() with no
+  // intervening mutation. They skip the index probe entirely (the caller
+  // already paid it) — the found-node fast path of every queue policy.
+  void touch_mru(Node& n);
+  void demote_lru(Node& n);
+
+  /// Re-inserts a resident object at the MRU / LRU end IN PLACE: same slab
+  /// slot, same index entry, `insert_pos` updated — equivalent to the
+  /// erase() + insert_*() + field-restore sequence SCIP's PROMOTE once paid
+  /// (two index probes and a backward-shift delete), minus all of it. Every
+  /// per-object field other than `insert_pos` is preserved; callers that
+  /// relied on erase+insert zeroing `hits`/ticks must now set them
+  /// explicitly (AdvisedLruCache does).
+  Node& reinsert_mru(Node& n);
+  Node& reinsert_lru(Node& n);
+
   /// Removes and returns the LRU-end node. Queue must be non-empty.
   Node pop_lru();
+  /// pop_lru() that also reports hash64(victim.id), which it computed for
+  /// its own index erase — the eviction path reuses it for the history
+  /// lists instead of re-hashing the victim id.
+  Node pop_lru(std::uint64_t* victim_hash_out);
   /// Removes `id`; returns true and copies the node into `out` if present.
   bool erase(std::uint64_t id, Node* out = nullptr);
+  bool erase_hashed(std::uint64_t id, std::uint64_t h, Node* out = nullptr);
 
-  [[nodiscard]] std::uint64_t lru_id() const;
+  /// Pre-sizes the slab, dense vector and hash index for `n` resident
+  /// objects so the warm-up phase does not pay reallocation/rehash stalls;
+  /// the steady-state request path allocates nothing either way (slab free
+  /// list + constant-occupancy index). Layout-only: never changes behavior.
+  void reserve(std::size_t n);
+
+  /// Advisory prefetch of the index home slot for `id` (see FlatMap).
+  void prefetch(std::uint64_t id) const noexcept {
+    index_.prefetch_hashed(hash64(id));
+  }
+  void prefetch_hashed(std::uint64_t h) const noexcept {
+    index_.prefetch_hashed(h);
+  }
+
+  /// Id at the LRU end (the next victim). Queue must be non-empty. Served
+  /// from the tail-id shadow: no node read, so the eviction lookahead can
+  /// name the victim and start its dependent prefetches for free.
+  [[nodiscard]] std::uint64_t lru_id() const noexcept {
+    assert(tail_ != kNull);
+    assert(slab_[tail_].id == tail_id_);
+    return tail_id_;
+  }
+  /// insert_pos of the LRU-end node (1 = was inserted at MRU), also served
+  /// from the tail shadow. Tells an advisor's eviction lookahead which
+  /// history list the victim will land in without reading the cold node.
+  [[nodiscard]] std::uint8_t lru_insert_pos() const noexcept {
+    assert(tail_ != kNull);
+    assert(slab_[tail_].insert_pos == tail_pos_);
+    return tail_pos_;
+  }
   [[nodiscard]] std::uint64_t mru_id() const;
+
+  /// Advisory prefetch of the LRU-end node itself (the next victim): the
+  /// tail sits untouched since it last moved, so the eviction read is
+  /// almost always cold unless hinted while earlier work retires.
+  void prefetch_lru_node() const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (tail_ != kNull) __builtin_prefetch(&slab_[tail_]);
+#endif
+  }
 
   [[nodiscard]] std::size_t count() const noexcept { return dense_.size(); }
   [[nodiscard]] bool empty() const noexcept { return dense_.empty(); }
@@ -121,6 +188,13 @@ class LruQueue {
   std::uint32_t head_ = kNull;  ///< MRU end
   std::uint32_t tail_ = kNull;  ///< LRU end
   std::uint64_t used_bytes_ = 0;
+  /// Shadows of slab_[tail_].{id, insert_pos}, maintained wherever tail_
+  /// moves (the prev node's line is already touched there, so the copies
+  /// are free). Let lru_id()/lru_insert_pos() — and the eviction lookahead
+  /// built on them — name the next victim and its history-list side
+  /// without a dependent read of the cold tail node.
+  std::uint64_t tail_id_ = 0;
+  std::uint8_t tail_pos_ = 1;
 };
 
 }  // namespace cdn

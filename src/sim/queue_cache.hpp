@@ -24,16 +24,30 @@ class QueueCache : public Cache {
     return q_.metadata_bytes();
   }
 
+  void prefetch(std::uint64_t id) const noexcept override {
+    q_.prefetch(id);
+  }
+
  protected:
   /// Evicts from the LRU end until `size` more bytes fit.
   void make_room(std::uint64_t size) {
     while (!q_.empty() && q_.used_bytes() + size > capacity_) {
-      on_evict(q_.pop_lru());
+      std::uint64_t victim_hash = 0;
+      const LruQueue::Node victim = q_.pop_lru(&victim_hash);
+      on_evict_hashed(victim, victim_hash);
     }
   }
 
   /// Victim observation hook; the node is already removed from the queue.
   virtual void on_evict(const LruQueue::Node& /*victim*/) {}
+
+  /// Victim hook carrying hash64(victim.id), which pop_lru computed for its
+  /// own index erase. Distinct name (not an overload) so derived classes
+  /// overriding only on_evict() are never shadowed; the default delegates.
+  virtual void on_evict_hashed(const LruQueue::Node& victim,
+                               std::uint64_t /*victim_hash*/) {
+    on_evict(victim);
+  }
 
   LruQueue q_;
   std::int64_t tick_ = 0;  ///< logical time: one tick per access()

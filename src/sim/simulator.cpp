@@ -21,12 +21,26 @@ std::size_t warmup_request_count(double warmup_frac, std::size_t n) {
   return std::min(warm, n);
 }
 
-SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
+namespace {
+
+// How many requests ahead the replay loop hints Cache::prefetch. Far enough
+// to cover an index probe's DRAM miss at replay speed, near enough that the
+// hinted line is still resident when its request arrives. Advisory only —
+// the value can never change results.
+constexpr std::size_t kPrefetchDistance = 8;
+
+// Shared driver over any request source exposing `name()`, `size()`,
+// `req(i)` and `id(i)`. The AoS (Trace) and SoA (TraceColumns) entry points
+// below are thin adapters, so both loops stay behaviorally identical by
+// construction: same Requests, same order, same windowing and sampling.
+template <typename Stream>
+SimResult simulate_impl(Cache& cache, const Stream& stream,
+                        const SimOptions& opts) {
   SimResult res;
   res.policy = cache.name();
-  res.trace = trace.name;
+  res.trace = stream.name();
 
-  const std::size_t n = trace.requests.size();
+  const std::size_t n = stream.size();
   const std::size_t warm_start = warmup_request_count(opts.warmup_frac, n);
 
   const bool collect = opts.collect_policy_metrics || opts.metrics_sink;
@@ -56,7 +70,10 @@ SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
   Stopwatch wall;
 
   for (std::size_t i = 0; i < n; ++i) {
-    const Request& req = trace.requests[i];
+    if (i + kPrefetchDistance < n) {
+      cache.prefetch(stream.id(i + kPrefetchDistance));
+    }
+    const auto& req = stream.req(i);
     const bool hit = cache.access(req);
 
     ++res.requests;
@@ -109,6 +126,44 @@ SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
     if (opts.metrics_sink) opts.metrics_sink->consume(reg);
   }
   return res;
+}
+
+struct AosStream {
+  const Trace& trace;
+  [[nodiscard]] const std::string& name() const { return trace.name; }
+  [[nodiscard]] std::size_t size() const { return trace.requests.size(); }
+  [[nodiscard]] const Request& req(std::size_t i) const {
+    return trace.requests[i];
+  }
+  [[nodiscard]] std::uint64_t id(std::size_t i) const {
+    return trace.requests[i].id;
+  }
+};
+
+struct SoaStream {
+  const TraceColumns& cols;
+  // Materialization buffer: req(i) returns a reference so the AoS and SoA
+  // loop bodies compile to the same access pattern; a fresh Request is
+  // assembled from the columns each call.
+  mutable Request scratch;
+  [[nodiscard]] const std::string& name() const { return cols.name; }
+  [[nodiscard]] std::size_t size() const { return cols.size(); }
+  [[nodiscard]] const Request& req(std::size_t i) const {
+    scratch = cols.request_at(i);
+    return scratch;
+  }
+  [[nodiscard]] std::uint64_t id(std::size_t i) const { return cols.ids[i]; }
+};
+
+}  // namespace
+
+SimResult simulate(Cache& cache, const Trace& trace, const SimOptions& opts) {
+  return simulate_impl(cache, AosStream{trace}, opts);
+}
+
+SimResult simulate(Cache& cache, const TraceColumns& cols,
+                   const SimOptions& opts) {
+  return simulate_impl(cache, SoaStream{cols, Request{}}, opts);
 }
 
 obs::json::Value sim_result_row(const SimResult& r) {

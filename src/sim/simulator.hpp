@@ -14,6 +14,7 @@
 #include "obs/json.hpp"
 #include "obs/sink.hpp"
 #include "sim/cache.hpp"
+#include "trace/columns.hpp"
 #include "trace/request.hpp"
 
 namespace cdn {
@@ -91,6 +92,16 @@ struct SimResult {
 
 /// Runs `trace` through `cache` and collects metrics.
 [[nodiscard]] SimResult simulate(Cache& cache, const Trace& trace,
+                                 const SimOptions& opts = {});
+
+/// simulate() over a struct-of-arrays trace (trace/columns.hpp): the id and
+/// size columns stream through cache instead of 32-byte Request records,
+/// and the driver prefetches each cache's index slots a few requests ahead
+/// off the id column. Over columns produced by to_columns(trace) with all
+/// columns kept, the result is deterministically equal to
+/// simulate(cache, trace) — both drive the cache with identical Requests in
+/// identical order (the hot-path regression test pins this).
+[[nodiscard]] SimResult simulate(Cache& cache, const TraceColumns& cols,
                                  const SimOptions& opts = {});
 
 /// Number of leading requests simulate() excludes from warm_* stats:

@@ -1,0 +1,22 @@
+#include "trace/columns.hpp"
+
+namespace cdn {
+
+TraceColumns to_columns(const Trace& trace, bool keep_time, bool keep_next) {
+  TraceColumns cols;
+  cols.name = trace.name;
+  const std::size_t n = trace.requests.size();
+  cols.ids.reserve(n);
+  cols.sizes.reserve(n);
+  if (keep_time) cols.times.reserve(n);
+  if (keep_next) cols.nexts.reserve(n);
+  for (const Request& r : trace.requests) {
+    cols.ids.push_back(r.id);
+    cols.sizes.push_back(r.size);
+    if (keep_time) cols.times.push_back(r.time);
+    if (keep_next) cols.nexts.push_back(r.next);
+  }
+  return cols;
+}
+
+}  // namespace cdn

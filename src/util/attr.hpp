@@ -1,0 +1,13 @@
+// Function attributes for the per-request hot path.
+#pragma once
+
+// Forces inlining of a hot-path function the optimizer's size heuristics
+// would otherwise keep out of line. Use ONLY for functions with exactly one
+// hot call site (the devirtualized request loop): there the call overhead
+// is pure loss and the usual code-bloat argument is moot. Falls back to a
+// plain inline hint off GCC/Clang.
+#if defined(__GNUC__) || defined(__clang__)
+#define CDN_ALWAYS_INLINE inline  // A/B toggle
+#else
+#define CDN_ALWAYS_INLINE inline
+#endif

@@ -48,41 +48,113 @@ class FlatMap {
     return find(key) != nullptr;
   }
 
+  /// The hash this map derives probe positions from. Callers on the
+  /// per-request hot path compute it once per request and thread it through
+  /// every probe (`*_hashed` overloads) instead of re-hashing the same id
+  /// three to five times; the arithmetic is identical either way.
+  [[nodiscard]] static std::uint64_t hash_of(const K& key) noexcept {
+    return hash64(static_cast<std::uint64_t>(key));
+  }
+
   /// Pointer to the value for `key`, or nullptr. Invalidated by any
   /// mutation of the map (insert may grow, erase may shift).
   [[nodiscard]] V* find(const K& key) noexcept {
-    if (size_ == 0) return nullptr;
-    for (std::size_t i = home(key);; i = next(i)) {
-      Slot& s = slots_[i];
-      if (!s.used) return nullptr;
-      if (s.key == key) return &s.value;
-    }
+    return find_hashed(key, hash_of(key));
   }
   [[nodiscard]] const V* find(const K& key) const noexcept {
     return const_cast<FlatMap*>(this)->find(key);
   }
 
+  /// find() with the caller-precomputed hash_of(key).
+  [[nodiscard]] V* find_hashed(const K& key, std::uint64_t h) noexcept {
+    assert(h == hash_of(key));
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = static_cast<std::size_t>(h) & mask_;; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  [[nodiscard]] const V* find_hashed(const K& key,
+                                     std::uint64_t h) const noexcept {
+    return const_cast<FlatMap*>(this)->find_hashed(key, h);
+  }
+
   /// Inserts `key -> value`; returns false (and leaves the existing value
   /// untouched) if the key is already present.
   bool insert(const K& key, const V& value) {
-    V* slot = probe_for_insert(key);
-    if (slot == nullptr) return false;
+    return insert_hashed(key, value, hash_of(key));
+  }
+
+  /// insert() with the caller-precomputed hash_of(key).
+  bool insert_hashed(const K& key, const V& value, std::uint64_t h) {
+    bool inserted = false;
+    V* slot = upsert_hashed(key, h, &inserted);
+    if (!inserted) return false;
     *slot = value;
     return true;
   }
 
+  /// Slot for `key`, claiming a fresh slot when absent: the single-probe
+  /// find-or-insert the ghost lists' refresh-on-add path is built on.
+  /// `*inserted` reports whether the slot is new (value uninitialized — the
+  /// caller must assign it) or existing (value untouched). May grow the
+  /// table (even when the key turns out to be present, exactly like
+  /// insert() always did).
+  V* upsert_hashed(const K& key, std::uint64_t h, bool* inserted) {
+    assert(h == hash_of(key));
+    if (slots_.empty() ||
+        (size_ + 1) * kMaxLoadNum > slots_.size() * kMaxLoadDen) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    for (std::size_t i = static_cast<std::size_t>(h) & mask_;; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        ++size_;
+        *inserted = true;
+        return &s.value;
+      }
+      if (s.key == key) {
+        *inserted = false;
+        return &s.value;
+      }
+    }
+  }
+
   /// Value for `key`, default-constructed and inserted if absent.
   V& operator[](const K& key) {
-    if (V* existing = find(key)) return *existing;
-    V* slot = probe_for_insert(key);
-    *slot = V{};
+    bool inserted = false;
+    V* slot = upsert_hashed(key, hash_of(key), &inserted);
+    if (inserted) *slot = V{};
     return *slot;
+  }
+
+  /// Hints the cache hierarchy to pull the home slot for a key hashing to
+  /// `h`. Purely advisory — never changes behavior — and safe on an empty
+  /// map. Used by the batched serving path and the SoA replay loop to
+  /// overlap probe-miss latency across requests.
+  void prefetch_hashed(std::uint64_t h) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[static_cast<std::size_t>(h) & mask_]);
+    }
+#else
+    (void)h;
+#endif
   }
 
   /// Removes `key` with backward-shift compaction. Returns true if present.
   bool erase(const K& key) noexcept {
+    return erase_hashed(key, hash_of(key));
+  }
+
+  /// erase() with the caller-precomputed hash_of(key).
+  bool erase_hashed(const K& key, std::uint64_t h) noexcept {
+    assert(h == hash_of(key));
     if (size_ == 0) return false;
-    std::size_t hole = home(key);
+    std::size_t hole = static_cast<std::size_t>(h) & mask_;
     for (;; hole = next(hole)) {
       if (!slots_[hole].used) return false;
       if (slots_[hole].key == key) break;
@@ -151,30 +223,10 @@ class FlatMap {
   static constexpr std::size_t kMaxLoadDen = 1;
 
   [[nodiscard]] std::size_t home(const K& key) const noexcept {
-    return static_cast<std::size_t>(
-               hash64(static_cast<std::uint64_t>(key))) &
-           mask_;
+    return static_cast<std::size_t>(hash_of(key)) & mask_;
   }
   [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
     return (i + 1) & mask_;
-  }
-
-  /// Probe slot for inserting `key`: nullptr if present, else the claimed
-  /// (now `used`) slot with `key` written and `size_` bumped.
-  V* probe_for_insert(const K& key) {
-    if (slots_.empty() || (size_ + 1) * kMaxLoadNum > slots_.size() * kMaxLoadDen) {
-      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
-    }
-    for (std::size_t i = home(key);; i = next(i)) {
-      Slot& s = slots_[i];
-      if (!s.used) {
-        s.used = true;
-        s.key = key;
-        ++size_;
-        return &s.value;
-      }
-      if (s.key == key) return nullptr;
-    }
   }
 
   void rehash(std::size_t new_capacity) {

@@ -52,6 +52,13 @@ std::uint64_t LogHistogram::percentile(double p) const noexcept {
   const double target = p * static_cast<double>(total_);
   double acc = 0.0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    // Skip empty buckets: with p = 0 the target is 0 and `acc >= target`
+    // holds immediately, which used to report bucket 0's bound no matter
+    // where the minimum actually lay. The quantile must land in a bucket
+    // that holds mass. (For p > 0 this changes nothing — acc only moves at
+    // non-empty buckets, so the first bucket satisfying the test is
+    // non-empty anyway.)
+    if (buckets_[b] == 0) continue;
     acc += static_cast<double>(buckets_[b]);
     if (acc >= target) {
       if (b == 0) return 0;

@@ -28,7 +28,17 @@ namespace cdn {
   return z ^ (z >> 31);
 }
 
-/// xoshiro256** PRNG with convenience distributions.
+namespace detail {
+[[nodiscard]] inline std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
+
+/// xoshiro256** PRNG with convenience distributions. The uniform-draw core
+/// (next / uniform / below / chance) is defined inline: SCIP consumes one
+/// draw per admitted miss and per risk-class promotion, so the generator
+/// sits on the policy hot path (and only on SCIP's side of the SCIP-vs-LRU
+/// replay ratio — plain LRU never draws).
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -36,7 +46,17 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
   /// Raw 64 bits.
-  [[nodiscard]] std::uint64_t next() noexcept;
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = detail::rotl64(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = detail::rotl64(s_[3], 45);
+    return result;
+  }
 
   /// UniformRandomBitGenerator interface (usable with <random> adapters).
   std::uint64_t operator()() noexcept { return next(); }
@@ -46,19 +66,33 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  [[nodiscard]] double uniform() noexcept;
+  [[nodiscard]] double uniform() noexcept {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [0, n). Requires n > 0.
-  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    const std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Bernoulli trial.
-  [[nodiscard]] bool chance(double p) noexcept;
+  [[nodiscard]] bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Standard normal via Box-Muller (uses cached second value).
   [[nodiscard]] double normal() noexcept;

@@ -241,6 +241,53 @@ TEST(FlatMap, DifferentialRandomOps) {
   }
 }
 
+TEST(FlatMap, HashedApiMatchesPlain) {
+  // The *_hashed entry points with a caller-precomputed hash64(key) must
+  // behave exactly like the plain ops (which hash internally).
+  FlatMap<std::uint64_t, std::uint64_t> plain, hashed;
+  Rng rng(9);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t k = rng.below(300);
+    const std::uint64_t h = hash64(k);
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(plain.insert(k, k * 3), hashed.insert_hashed(k, k * 3, h));
+        break;
+      case 1: {
+        const std::uint64_t* a = plain.find(k);
+        const std::uint64_t* b = hashed.find_hashed(k, h);
+        ASSERT_EQ(a == nullptr, b == nullptr);
+        if (a != nullptr) {
+          ASSERT_EQ(*a, *b);
+        }
+        break;
+      }
+      case 2:
+        ASSERT_EQ(plain.erase(k), hashed.erase_hashed(k, h));
+        break;
+    }
+    ASSERT_EQ(plain.size(), hashed.size());
+  }
+}
+
+TEST(FlatMap, UpsertHashedInsertsOrFindsInPlace) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  bool inserted = false;
+  std::uint64_t* slot = m.upsert_hashed(5, hash64(5), &inserted);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_TRUE(inserted);
+  *slot = 11;
+  EXPECT_EQ(m.size(), 1u);
+  // Second upsert of the same key: finds the live slot, does not insert.
+  slot = m.upsert_hashed(5, hash64(5), &inserted);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*slot, 11u);
+  EXPECT_EQ(m.size(), 1u);
+  *slot = 12;
+  EXPECT_EQ(*m.find(5), 12u);
+}
+
 TEST(FlatMap, SparseKeysFullRange) {
   // Full 64-bit key range (the simulator keys by hashed object ids).
   Map m;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/ghost_list.hpp"
+#include "util/rng.hpp"
 
 namespace cdn {
 namespace {
@@ -71,6 +72,42 @@ TEST(GhostList, ByteBoundHeldUnderChurn) {
     g.add(i, 1 + i % 97);
     ASSERT_LE(g.used_bytes(), 1000u);
   }
+}
+
+TEST(GhostList, AddHashedMatchesAdd) {
+  // add_hashed's single find-or-insert probe replaced add's erase + insert
+  // pair; under churn, refreshes and capacity drops the two must stay
+  // indistinguishable.
+  GhostList plain(500), hashed(500);
+  Rng rng(42);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t id = rng.below(40);
+    const std::uint64_t size = 1 + rng.below(60);  // forces frequent drops
+    const bool tag = rng.chance(0.5);
+    if (rng.chance(0.75)) {
+      plain.add(id, size, tag);
+      hashed.add_hashed(id, size, tag, hash64(id));
+    } else {
+      std::uint64_t sa = 0, sb = 0;
+      bool ta = false, tb = false;
+      ASSERT_EQ(plain.erase(id, &sa, &ta),
+                hashed.erase_hashed(id, hash64(id), &sb, &tb));
+      ASSERT_EQ(sa, sb);
+      ASSERT_EQ(ta, tb);
+    }
+    ASSERT_EQ(plain.count(), hashed.count());
+    ASSERT_EQ(plain.used_bytes(), hashed.used_bytes());
+    ASSERT_EQ(plain.contains(id), hashed.contains(id));
+  }
+}
+
+TEST(GhostList, PerEntryBytesIsSizeofDerived) {
+  // 32-byte record (id + size + tag, padded) plus the same 3-slot
+  // flat-index slack amortization LruQueue::metadata_bytes uses. Pins the
+  // derivation so the constant can never silently desynchronize from the
+  // record layout again.
+  using Index = FlatMap<std::uint64_t, std::uint32_t>;
+  EXPECT_EQ(GhostList::kPerEntryBytes, 32 + 3 * Index::kSlotBytes);
 }
 
 TEST(GhostList, MetadataProportionalToCount) {

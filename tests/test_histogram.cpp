@@ -136,5 +136,52 @@ TEST(LogHistogram, ClampsOutOfRangeP) {
   EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
 }
 
+TEST(LogHistogram, PercentileZeroLandsInTheMinimumsBucket) {
+  // Regression: p = 0 makes the accumulator test (acc >= 0) true at the
+  // very first bucket, so it reported 0 even when no value was anywhere
+  // near bucket 0. The quantile must land in a bucket that holds mass.
+  LogHistogram h;
+  h.add(100);  // bucket [64, 128) -> upper bound 127
+  EXPECT_EQ(h.percentile(0.0), 127u);
+  h.add(1 << 20, 50);  // heavier mass far above must not move p = 0
+  EXPECT_EQ(h.percentile(0.0), 127u);
+}
+
+TEST(LogHistogram, PercentileOneLandsInTheMaximumsBucket) {
+  LogHistogram h;
+  h.add(1, 1000);
+  h.add(1ULL << 30);  // bucket [2^30, 2^31) -> upper bound 2^31 - 1
+  EXPECT_EQ(h.percentile(1.0), (1ULL << 31) - 1);
+}
+
+TEST(LogHistogram, EmptyPercentileZeroAtBothEnds) {
+  LogHistogram h;
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(LogHistogram, SingleBucketAllPercentilesAgree) {
+  LogHistogram h;
+  h.add(5, 9);  // everything in [4, 8)
+  for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_EQ(h.percentile(p), 7u) << p;
+  }
+}
+
+TEST(LogHistogram, PostMergeBoundaryPercentiles) {
+  // After folding two disjoint streams together, p = 0 must come from the
+  // low stream's bucket and p = 1 from the high stream's.
+  LogHistogram low, high;
+  low.add(3, 10);          // bucket [2, 4) -> bound 3
+  high.add(1ULL << 40, 2); // bucket [2^40, 2^41) -> bound 2^41 - 1
+  low.merge(high);
+  EXPECT_EQ(low.percentile(0.0), 3u);
+  EXPECT_EQ(low.percentile(1.0), (1ULL << 41) - 1);
+  // The 10/12 boundary: p exactly at the low bucket's cumulative share
+  // stays in the low bucket (acc >= target, not >).
+  EXPECT_EQ(low.percentile(10.0 / 12.0), 3u);
+  EXPECT_EQ(low.percentile(10.0 / 12.0 + 1e-9), (1ULL << 41) - 1);
+}
+
 }  // namespace
 }  // namespace cdn

@@ -149,6 +149,117 @@ TEST(LruQueue, ForEachFromLruOrderAndEarlyStop) {
   EXPECT_EQ(order[1], 2u);
 }
 
+TEST(LruQueue, HashedOpsMatchPlain) {
+  // The hashed overloads with the caller-precomputed hash64(id) must be
+  // structurally indistinguishable from the plain ops they shadow.
+  LruQueue plain, hashed;
+  Rng rng(77);
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t id = rng.below(48);
+    const std::uint64_t h = hash64(id);
+    switch (rng.below(4)) {
+      case 0:
+        if (!plain.contains(id)) {
+          plain.insert_mru(id, 1 + id);
+          hashed.insert_mru_hashed(id, 1 + id, h);
+        }
+        break;
+      case 1:
+        if (!plain.contains(id)) {
+          plain.insert_lru(id, 1 + id);
+          hashed.insert_lru_hashed(id, 1 + id, h);
+        }
+        break;
+      case 2: {
+        LruQueue::Node* a = plain.find(id);
+        LruQueue::Node* b = hashed.find_hashed(id, h);
+        ASSERT_EQ(a == nullptr, b == nullptr);
+        if (a != nullptr) {
+          ASSERT_EQ(a->id, b->id);
+        }
+        break;
+      }
+      case 3:
+        ASSERT_EQ(plain.erase(id), hashed.erase_hashed(id, h));
+        break;
+    }
+    ASSERT_EQ(plain.count(), hashed.count());
+    ASSERT_EQ(plain.used_bytes(), hashed.used_bytes());
+  }
+  while (!plain.empty()) {
+    ASSERT_EQ(plain.pop_lru().id, hashed.pop_lru().id);
+  }
+}
+
+TEST(LruQueue, PopLruReportsVictimHash) {
+  LruQueue q;
+  q.insert_mru(7, 1);
+  q.insert_mru(9, 1);
+  std::uint64_t h = 0;
+  EXPECT_EQ(q.pop_lru(&h).id, 7u);
+  EXPECT_EQ(h, hash64(7));
+  EXPECT_EQ(q.pop_lru(&h).id, 9u);
+  EXPECT_EQ(h, hash64(9));
+}
+
+TEST(LruQueue, TailShadowTracksVictimAndInsertPos) {
+  // lru_id()/lru_insert_pos() are served from the tail shadow; walk it
+  // through every operation that moves the tail (the debug asserts inside
+  // them additionally cross-check the shadow against the node).
+  LruQueue q;
+  q.insert_mru(1, 1);
+  EXPECT_EQ(q.lru_id(), 1u);
+  EXPECT_EQ(q.lru_insert_pos(), 1);
+  q.insert_lru(2, 1);  // tail moves to the LRU-inserted node
+  EXPECT_EQ(q.lru_id(), 2u);
+  EXPECT_EQ(q.lru_insert_pos(), 0);
+  q.touch_mru(2);  // unlink from tail: shadow falls back to node 1
+  EXPECT_EQ(q.lru_id(), 1u);
+  EXPECT_EQ(q.lru_insert_pos(), 1);
+  LruQueue::Node* n = q.find(1);
+  ASSERT_NE(n, nullptr);
+  q.reinsert_lru(*n);  // in-place demotion rewrites the mark before relink
+  EXPECT_EQ(q.lru_id(), 1u);
+  EXPECT_EQ(q.lru_insert_pos(), 0);
+  n = q.find(1);
+  ASSERT_NE(n, nullptr);
+  q.reinsert_mru(*n);  // tail falls back to 2, which keeps its LRU mark
+  EXPECT_EQ(q.lru_id(), 2u);
+  EXPECT_EQ(q.lru_insert_pos(), 0);
+  (void)q.pop_lru();  // tail falls back to 1, reinserted at MRU above
+  EXPECT_EQ(q.lru_id(), 1u);
+  EXPECT_EQ(q.lru_insert_pos(), 1);
+}
+
+TEST(LruQueue, ReinsertMatchesEraseInsertRestore) {
+  // reinsert_mru/_lru replace SCIP's historical erase + insert + restore
+  // sequence; the visible order and fields must match it exactly.
+  LruQueue a, b;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    a.insert_mru(id, 10);
+    b.insert_mru(id, 10);
+  }
+  LruQueue::Node* n = a.find(2);
+  ASSERT_NE(n, nullptr);
+  n->hits = 5;
+  a.reinsert_mru(*n)  // in-place PROMOTE
+      .aux = 99;
+  LruQueue::Node out{};
+  ASSERT_TRUE(b.erase(2, &out));
+  LruQueue::Node& fresh = b.insert_mru(2, 10);
+  fresh.hits = 5;  // field restore the old sequence had to do by hand
+  fresh.aux = 99;
+  ASSERT_EQ(a.count(), b.count());
+  while (!a.empty()) {
+    const LruQueue::Node va = a.pop_lru();
+    const LruQueue::Node vb = b.pop_lru();
+    ASSERT_EQ(va.id, vb.id);
+    ASSERT_EQ(va.hits, vb.hits);
+    ASSERT_EQ(va.aux, vb.aux);
+    ASSERT_EQ(va.insert_pos, vb.insert_pos);
+  }
+}
+
 // Differential test: random operations against a std::list reference.
 TEST(LruQueue, MatchesReferenceModelUnderRandomOps) {
   LruQueue q;

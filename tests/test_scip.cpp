@@ -179,18 +179,35 @@ TEST(Scip, MetadataCountsOnlyLiveStructures) {
   // A small cache auto-disables the shadow monitors (monitor capacity
   // below monitor_min_bytes), and an ablation can disable them explicitly.
   // Either way the resource accounting must report only live structures:
-  // history lists plus the advisor's ~96 bytes of fixed scalar state. The
-  // pre-fix code charged the four monitors' fixed footprint (192 total)
-  // even when the constructor had disabled them, inflating the Fig. 9/11
-  // metadata columns for exactly the small caches where overhead matters.
+  // history lists plus the advisor's fixed scalar state; the four shadow
+  // monitors' fixed footprint counts only when the duels are enabled (the
+  // pre-fix code charged disabled monitors, inflating the Fig. 9/11
+  // metadata columns for exactly the small caches where overhead matters).
+  //
+  // The fixed components are sizeof-derived (the hand-counted 96 / 4x24
+  // literals they replace desynchronized silently whenever a field was
+  // added); this test re-derives them from the same member types the
+  // implementation sums, so a divergence means the accounting no longer
+  // matches the advisor's actual layout.
+  const std::uint64_t fixed = sizeof(double) * 2      // w_miss_, w_prom_
+                              + sizeof(int) * 2       // psel counters
+                              + sizeof(ml::AdaptiveLearningRate)  // lr_
+                              + sizeof(Rng)           // rng_
+                              + sizeof(int) + sizeof(std::uint64_t);  // latch
+  EXPECT_EQ(ScipAdvisor::fixed_state_bytes(), fixed);
+  EXPECT_GE(ScipAdvisor::monitor_fixed_bytes(),
+            sizeof(std::uint64_t) + sizeof(Rng) + sizeof(LruQueue));
+
   ScipAdvisor small(1 << 20);  // monitor cap 32 KiB < 2 MiB floor
-  EXPECT_EQ(small.metadata_bytes(), 96u);
+  EXPECT_EQ(small.metadata_bytes(), ScipAdvisor::fixed_state_bytes());
 
   ScipAdvisor ablated(1ULL << 30, quiet_params());  // explicit ablation
-  EXPECT_EQ(ablated.metadata_bytes(), 96u);
+  EXPECT_EQ(ablated.metadata_bytes(), ScipAdvisor::fixed_state_bytes());
 
   ScipAdvisor live(1ULL << 30);  // monitors enabled, empty at construction
-  EXPECT_EQ(live.metadata_bytes(), 192u);
+  EXPECT_EQ(live.metadata_bytes(),
+            ScipAdvisor::fixed_state_bytes() +
+                4 * ScipAdvisor::monitor_fixed_bytes());
 }
 
 TEST(Scip, MetadataIncludesHistoryLists) {
@@ -200,6 +217,81 @@ TEST(Scip, MetadataIncludesHistoryLists) {
   for (const auto& r : t.requests) c.access(r);
   EXPECT_GT(adv->metadata_bytes(), 0u);
   EXPECT_GT(c.metadata_bytes(), adv->metadata_bytes());
+}
+
+TEST(ScipAdvisor, HistoryCapacityBoundaries) {
+  // Capacity 1: floor(0.5 * 1) = 0 clamps to the 1-byte minimum.
+  EXPECT_EQ(ScipAdvisor::history_list_capacity(1, 0.5), 1u);
+  // Odd capacity: exact floor, no rounding to even.
+  EXPECT_EQ(ScipAdvisor::history_list_capacity(7, 0.5), 3u);
+  // Above 2^53 the old double arithmetic collapsed (2^60 + 3) to 2^60 and
+  // reported 2^59; the 64.32 fixed-point path keeps the integer exact.
+  EXPECT_EQ(ScipAdvisor::history_list_capacity((1ULL << 60) + 3, 0.5),
+            (1ULL << 59) + 1);
+  // 2^63-scale capacity must not overflow the 128-bit product.
+  EXPECT_EQ(ScipAdvisor::history_list_capacity(1ULL << 63, 0.5),
+            1ULL << 62);
+  // And an advisor built at that scale still functions.
+  ScipAdvisor big(1ULL << 63, quiet_params());
+  big.on_evict(1, 10, /*was_mru_inserted=*/true, /*had_hits=*/false);
+  EXPECT_EQ(big.hm_count(), 1u);
+}
+
+TEST(ScipAdvisor, Algorithm2WindowRollsOverAtExactIntervalMultiples) {
+  auto p = quiet_params();
+  p.update_interval = 100;
+  ScipAdvisor adv(1000, p);
+  const double initial = adv.lambda();
+  // Window 1 (requests 1..100, all misses): the rollover at exactly the
+  // 100th request records the first window's hit rate without moving
+  // lambda (Algorithm 2 needs two windows for a gradient).
+  for (int i = 0; i < 100; ++i) {
+    adv.on_request(req(i, 1000 + static_cast<std::uint64_t>(i)), false);
+  }
+  EXPECT_DOUBLE_EQ(adv.lambda(), initial);
+  // Window 2 (requests 101..200, all hits): one request short of the
+  // boundary lambda must still be untouched...
+  for (int i = 0; i < 99; ++i) adv.on_request(req(100 + i, 1), true);
+  EXPECT_DOUBLE_EQ(adv.lambda(), initial);
+  // ...and the 200th request closes the window: hit rate rose 0 -> 1 on a
+  // positive seeded lambda delta, so lambda moves (up, to the rail).
+  adv.on_request(req(199, 1), true);
+  EXPECT_NE(adv.lambda(), initial);
+}
+
+TEST(ScipAdvisor, OversizeObjectsDoNotMoveTheDuelCounters) {
+  ScipParams p;
+  p.seed = 3;  // monitors stay on (use_monitors defaults to true)
+  const std::uint64_t cap = 256ULL << 20;          // monitor capacity 8 MiB
+  const std::uint64_t oversize = (8ULL << 20) + 1; // > monitor, << cache
+  ScipAdvisor adv(cap, p);
+  // The promotion duel starts at its MRU-favoring prior (+prom_psel_max);
+  // the miss duel starts neutral. Oversize traffic must leave both where
+  // they started.
+  const int prom0 = adv.psel_prom();
+  ASSERT_EQ(adv.psel_miss(), 0);
+  // One id per duel slice (miss duel: h & 63; promotion duel:
+  // (h >> 6) & 63), so every monitor sees the oversize object once.
+  std::int64_t t = 0;
+  for (std::uint64_t want = 0; want < 2; ++want) {
+    std::uint64_t id = 1;
+    while ((hash64(id) & 63) != want) ++id;
+    adv.on_request(req(t++, id, oversize), false);
+    id = 1;
+    while (((hash64(id) >> 6) & 63) != want) ++id;
+    adv.on_request(req(t++, id, oversize), false);
+  }
+  // Pre-fix, each of those structurally-guaranteed monitor misses pushed
+  // its duel counter toward whichever arm the hash slice happened to feed.
+  EXPECT_EQ(adv.psel_miss(), 0);
+  EXPECT_EQ(adv.psel_prom(), prom0);
+  // Control: a monitor-sized object in the same slice does count. Keep its
+  // promotion slice out of both arms so only the miss duel moves.
+  std::uint64_t id = 1'000'000;
+  while ((hash64(id) & 63) != 0 || ((hash64(id) >> 6) & 63) < 2) ++id;
+  adv.on_request(req(t++, id, 100), false);
+  EXPECT_EQ(adv.psel_miss(), -1);
+  EXPECT_EQ(adv.psel_prom(), prom0);
 }
 
 }  // namespace

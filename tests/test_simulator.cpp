@@ -5,6 +5,7 @@
 #include "policies/replacement/lru.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "trace/columns.hpp"
 #include "trace/generator.hpp"
 
 namespace cdn {
@@ -133,6 +134,31 @@ TEST(Simulator, EmptyTrace) {
   EXPECT_EQ(res.requests, 0u);
   EXPECT_EQ(res.object_miss_ratio(), 0.0);
   EXPECT_EQ(res.tps(), 0.0);
+}
+
+TEST(Simulator, ColumnarReplayMatchesAosReplay) {
+  // The SoA replay driver (bench hot path) must be observationally
+  // identical to the AoS driver for both the advised SCIP cache and plain
+  // LRU: same hits, bytes, warm-up split and window series.
+  const Trace trace = generate_trace(cdn_t_like(0.02));
+  const TraceColumns cols =
+      to_columns(trace, /*keep_time=*/false, /*keep_next=*/false);
+  const std::uint64_t cap =
+      std::max<std::uint64_t>(trace.working_set_bytes() / 8, 1);
+  for (const char* policy : {"LRU", "SCIP"}) {
+    auto a = make_cache(policy, cap);
+    auto b = make_cache(policy, cap);
+    const SimResult ra = simulate(*a, trace);
+    const SimResult rb = simulate(*b, cols);
+    EXPECT_EQ(ra.requests, rb.requests) << policy;
+    EXPECT_EQ(ra.hits, rb.hits) << policy;
+    EXPECT_EQ(ra.bytes_total, rb.bytes_total) << policy;
+    EXPECT_EQ(ra.bytes_hit, rb.bytes_hit) << policy;
+    EXPECT_EQ(ra.warm_requests, rb.warm_requests) << policy;
+    EXPECT_EQ(ra.warm_hits, rb.warm_hits) << policy;
+    EXPECT_EQ(ra.warm_bytes_hit, rb.warm_bytes_hit) << policy;
+    EXPECT_EQ(ra.window_miss_ratios, rb.window_miss_ratios) << policy;
+  }
 }
 
 TEST(Sweep, ResultsInJobOrderAndMatchSerial) {
