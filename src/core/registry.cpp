@@ -31,6 +31,7 @@
 #include "policies/replacement/lirs.hpp"
 #include "policies/replacement/lru.hpp"
 #include "policies/replacement/lru_k.hpp"
+#include "policies/replacement/random_cache.hpp"
 #include "policies/replacement/s4lru.hpp"
 #include "policies/replacement/sslru.hpp"
 
@@ -139,6 +140,10 @@ const std::unordered_map<std::string, Factory>& factories() {
       {"LIRS",
        [](std::uint64_t c, std::uint64_t) {
          return std::make_unique<LirsCache>(c);
+       }},
+      {"RANDOM",
+       [](std::uint64_t c, std::uint64_t s) {
+         return std::make_unique<RandomCache>(c, s);
        }},
       // --- Admission policies (the paper's S7 related-work family).
       {"2Q",

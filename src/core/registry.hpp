@@ -17,7 +17,7 @@ namespace cdn {
 ///     "DAAIP", "ASC-IP", "SCI", "SCIP"
 ///   Replacement algorithms:
 ///     "LRU-2" (LRU-K, K=2), "S4LRU", "SS-LRU", "GDSF", "LHD", "LeCaR",
-///     "CACHEUS", "LRB", "GL-Cache", "Belady"
+///     "CACHEUS", "LRB", "GL-Cache", "Belady", "RANDOM"
 ///   SCIP/ASC-IP integrations (Fig. 12):
 ///     "LRU-2-SCIP", "LRU-2-ASC-IP", "LRB-SCIP", "LRB-ASC-IP"
 /// Throws std::invalid_argument for unknown names.

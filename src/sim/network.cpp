@@ -1,0 +1,98 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "core/registry.hpp"
+#include "util/rng.hpp"
+
+namespace cdn::net {
+
+CacheNetwork::CacheNetwork(const NodeSpec& root, std::uint64_t seed)
+    : CacheNetwork(root, [seed](const NodeSpec& spec, std::size_t idx) {
+        // Per-node seed perturbation so two RANDOM nodes never share a
+        // victim stream.
+        return make_cache(spec.policy, spec.capacity_bytes,
+                          seed ^ hash64(static_cast<std::uint64_t>(idx) + 1));
+      }) {}
+
+CacheNetwork::CacheNetwork(const NodeSpec& root, const CacheFactory& factory) {
+  build(root, kNoParent, factory);
+  stats_.resize(nodes_.size());
+  if (leaves_.empty()) {
+    throw std::invalid_argument("CacheNetwork: spec has no leaf nodes");
+  }
+}
+
+void CacheNetwork::build(const NodeSpec& spec, std::size_t parent,
+                         const CacheFactory& factory) {
+  const std::size_t idx = nodes_.size();
+  Node node;
+  node.cache = factory(spec, idx);
+  node.parent = parent;
+  node.depth = parent == kNoParent ? 0 : nodes_[parent].depth + 1;
+  max_depth_ = std::max(max_depth_, node.depth);
+  nodes_.push_back(std::move(node));
+  if (spec.children.empty()) {
+    leaves_.push_back(idx);
+    return;
+  }
+  for (const NodeSpec& child : spec.children) {
+    build(child, idx, factory);
+  }
+}
+
+bool CacheNetwork::access(const Request& req, std::size_t leaf) {
+  std::size_t i = leaves_.at(leaf);
+  while (true) {
+    ++stats_[i].requests;
+    if (nodes_[i].cache->access(req)) {
+      ++stats_[i].hits;
+      return true;
+    }
+    if (nodes_[i].parent == kNoParent) {
+      ++origin_requests_;
+      return false;
+    }
+    i = nodes_[i].parent;
+  }
+}
+
+NodeStats CacheNetwork::layer_stats(std::size_t depth) const {
+  NodeStats agg;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].depth != depth) continue;
+    agg.requests += stats_[i].requests;
+    agg.hits += stats_[i].hits;
+  }
+  return agg;
+}
+
+NetworkRunResult run_network(CacheNetwork& net, const Trace& trace) {
+  NetworkRunResult result;
+  const std::uint64_t origin_before = net.origin_requests();
+  const std::size_t leaves = net.leaf_count();
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    net.access(trace.requests[i], i % leaves);
+  }
+  result.requests = trace.requests.size();
+  result.origin_requests = net.origin_requests() - origin_before;
+  return result;
+}
+
+NodeSpec two_layer_spec(const std::string& leaf_policy,
+                        std::uint64_t leaf_capacity, std::size_t leaves,
+                        const std::string& root_policy,
+                        std::uint64_t root_capacity) {
+  NodeSpec root;
+  root.policy = root_policy;
+  root.capacity_bytes = root_capacity;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    NodeSpec leaf;
+    leaf.policy = leaf_policy;
+    leaf.capacity_bytes = leaf_capacity;
+    root.children.push_back(std::move(leaf));
+  }
+  return root;
+}
+
+}  // namespace cdn::net

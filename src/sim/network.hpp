@@ -1,0 +1,144 @@
+// Multi-layer cache network: a tree of caches in which requests enter at a
+// leaf and walk parent-ward on miss (leave-copy-everywhere: every traversed
+// cache admits the object through its own policy's access()). Models the
+// edge→regional→origin hierarchy a CDN deploys, with per-node policy
+// selection via the registry — so SCIP at the edge can be composed with LRU
+// regionals, or every layer can run RANDOM for the analytical cross-check
+// (Gallo et al., PAPERS.md; see network_analytic.hpp).
+//
+// Deterministic: node construction order, request routing and per-node
+// counters are pure functions of (spec, seed, trace); no wall-clock, no
+// global state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "trace/request.hpp"
+
+namespace cdn::net {
+
+/// Recursive topology spec. A node with no children is a leaf (an entry
+/// point for requests).
+struct NodeSpec {
+  std::string policy = "LRU";
+  std::uint64_t capacity_bytes = 0;
+  std::vector<NodeSpec> children;
+};
+
+/// Per-node request/hit counters, maintained by CacheNetwork::access.
+struct NodeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] std::uint64_t misses() const { return requests - hits; }
+  [[nodiscard]] double miss_ratio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(misses()) / static_cast<double>(requests);
+  }
+};
+
+class CacheNetwork {
+ public:
+  static constexpr std::size_t kNoParent =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Builds one cache per spec node. The factory lets tests wrap caches
+  /// (e.g. audit::AuditedCache); `node_index` is the node's preorder index.
+  using CacheFactory =
+      std::function<CachePtr(const NodeSpec& spec, std::size_t node_index)>;
+
+  /// Registry-backed construction: make_cache(spec.policy, capacity,
+  /// seed perturbed per node) at every node.
+  CacheNetwork(const NodeSpec& root, std::uint64_t seed);
+  CacheNetwork(const NodeSpec& root, const CacheFactory& factory);
+
+  /// Routes one request into leaf `leaf` (an index into [0, leaf_count())),
+  /// walking parent-ward on miss. Returns true if some cache served it,
+  /// false if it fell through to the origin.
+  bool access(const Request& req, std::size_t leaf);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_.size(); }
+  /// Preorder node index of the `leaf`-th leaf (left to right).
+  [[nodiscard]] std::size_t leaf_node(std::size_t leaf) const {
+    return leaves_[leaf];
+  }
+
+  [[nodiscard]] const NodeStats& stats(std::size_t node) const {
+    return stats_[node];
+  }
+  [[nodiscard]] std::size_t parent_of(std::size_t node) const {
+    return nodes_[node].parent;
+  }
+  /// Distance from the root (root = 0).
+  [[nodiscard]] std::size_t depth_of(std::size_t node) const {
+    return nodes_[node].depth;
+  }
+  /// Deepest node's depth (a single cache network has depth() == 0).
+  [[nodiscard]] std::size_t depth() const { return max_depth_; }
+  [[nodiscard]] Cache& cache_at(std::size_t node) {
+    return *nodes_[node].cache;
+  }
+  [[nodiscard]] const Cache& cache_at(std::size_t node) const {
+    return *nodes_[node].cache;
+  }
+
+  /// Requests that missed every cache on their path (reached the origin).
+  [[nodiscard]] std::uint64_t origin_requests() const {
+    return origin_requests_;
+  }
+
+  /// Counters aggregated over all nodes at `depth`.
+  [[nodiscard]] NodeStats layer_stats(std::size_t depth) const;
+
+ private:
+  struct Node {
+    CachePtr cache;
+    std::size_t parent = kNoParent;
+    std::size_t depth = 0;
+  };
+
+  void build(const NodeSpec& spec, std::size_t parent,
+             const CacheFactory& factory);
+
+  std::vector<Node> nodes_;        ///< preorder
+  std::vector<NodeStats> stats_;   ///< parallel to nodes_
+  std::vector<std::size_t> leaves_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t origin_requests_ = 0;
+};
+
+/// Summary of a full-trace replay through a network.
+struct NetworkRunResult {
+  std::uint64_t requests = 0;
+  std::uint64_t origin_requests = 0;
+
+  /// Fraction of requests served by no cache in the tree.
+  [[nodiscard]] double system_miss_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(origin_requests) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Replays `trace` through `net`, assigning request i to leaf
+/// i % leaf_count() (round-robin keeps every leaf's popularity law equal to
+/// the global one — the homogeneous-tree model the analytical oracle
+/// assumes).
+NetworkRunResult run_network(CacheNetwork& net, const Trace& trace);
+
+/// Homogeneous two-layer tree: `leaves` identical leaf caches under one
+/// root. Depth 1 collapses to a single cache (leaves == 0).
+[[nodiscard]] NodeSpec two_layer_spec(const std::string& leaf_policy,
+                                      std::uint64_t leaf_capacity,
+                                      std::size_t leaves,
+                                      const std::string& root_policy,
+                                      std::uint64_t root_capacity);
+
+}  // namespace cdn::net

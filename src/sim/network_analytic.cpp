@@ -1,0 +1,99 @@
+#include "sim/network_analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdn::net {
+
+namespace {
+
+/// Occupancy sum_k q_k T / (1 + q_k T) at characteristic time `t`.
+double occupancy_at(const std::vector<double>& q, double t) {
+  double occ = 0.0;
+  for (const double qk : q) {
+    const double x = qk * t;
+    occ += x / (1.0 + x);
+  }
+  return occ;
+}
+
+std::vector<double> normalized(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0)) {
+      throw std::invalid_argument("solve_rnd_layer: negative weight");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("solve_rnd_layer: zero total weight");
+  }
+  std::vector<double> q(weights);
+  for (double& v : q) v /= total;
+  return q;
+}
+
+}  // namespace
+
+RndLayerSolution solve_rnd_layer(const std::vector<double>& weights,
+                                 double cache_objects) {
+  if (!(cache_objects > 0.0) ||
+      cache_objects >= static_cast<double>(weights.size())) {
+    throw std::invalid_argument(
+        "solve_rnd_layer: need 0 < cache_objects < catalog size");
+  }
+  const std::vector<double> q = normalized(weights);
+
+  // Occupancy is 0 at T=0 and -> n as T -> inf, strictly increasing:
+  // bracket then bisect.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy_at(q, hi) < cache_objects) {
+    hi *= 2.0;
+    if (hi > 1e18) {
+      throw std::runtime_error("solve_rnd_layer: bisection bracket overflow");
+    }
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupancy_at(q, mid) < cache_objects) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  RndLayerSolution sol;
+  sol.characteristic_time = 0.5 * (lo + hi);
+  sol.hit_prob.resize(q.size());
+  double miss = 0.0;
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const double x = q[k] * sol.characteristic_time;
+    sol.hit_prob[k] = x / (1.0 + x);
+    miss += q[k] * (1.0 - sol.hit_prob[k]);
+  }
+  sol.miss_ratio = miss;
+  return sol;
+}
+
+RndTreeSolution solve_rnd_tree2(const std::vector<double>& weights,
+                                double leaf_objects, double root_objects) {
+  RndTreeSolution sol;
+  sol.leaf = solve_rnd_layer(weights, leaf_objects);
+  sol.leaf_miss_ratio = sol.leaf.miss_ratio;
+
+  // Independence approximation: the root's IRM rates are the leaves' miss
+  // streams superposed, sum-normalized by solve_rnd_layer itself.
+  const std::vector<double> q = normalized(weights);
+  std::vector<double> root_weights(q.size());
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    root_weights[k] = q[k] * (1.0 - sol.leaf.hit_prob[k]);
+  }
+  sol.root = solve_rnd_layer(root_weights, root_objects);
+  sol.root_miss_ratio = sol.root.miss_ratio;
+  // Root requests are the leaf-layer misses, so the chain multiplies.
+  sol.system_miss_ratio = sol.leaf_miss_ratio * sol.root_miss_ratio;
+  return sol;
+}
+
+}  // namespace cdn::net

@@ -28,6 +28,11 @@ class QueueCache : public Cache {
     q_.prefetch(id);
   }
 
+  /// Read-only view of the resident queue for audit::Inspector-based tests
+  /// (e.g. structural audits of every node in a CacheNetwork). Never used
+  /// by policies.
+  [[nodiscard]] const LruQueue& audit_queue() const noexcept { return q_; }
+
  protected:
   /// Evicts from the LRU end until `size` more bytes fit.
   void make_room(std::uint64_t size) {

@@ -15,6 +15,20 @@ void annotate_next_access(Trace& trace) {
   }
 }
 
+bool annotation_current(const Trace& trace) {
+  std::unordered_map<std::uint64_t, std::int64_t> next_seen;
+  next_seen.reserve(trace.requests.size());
+  for (std::size_t i = trace.requests.size(); i-- > 0;) {
+    const auto& r = trace.requests[i];
+    const auto it = next_seen.find(r.id);
+    const std::int64_t expect =
+        it == next_seen.end() ? Request::kNoNext : it->second;
+    if (r.next != expect) return false;
+    next_seen[r.id] = static_cast<std::int64_t>(i);
+  }
+  return true;
+}
+
 bool is_annotated(const Trace& trace) {
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     const auto& r = trace.requests[i];

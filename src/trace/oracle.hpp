@@ -14,7 +14,17 @@ namespace cdn {
 void annotate_next_access(Trace& trace);
 
 /// True if annotate_next_access has plausibly been run (all `next` fields
-/// are either kNoNext or a strictly larger index).
+/// are either kNoNext or a strictly larger index). Shape check only: an
+/// annotation computed on a since-rewritten id sequence (e.g. before a
+/// stressor pass, see trace/stressors/stressor.hpp) still passes — use
+/// annotation_current() to prove the values themselves.
 [[nodiscard]] bool is_annotated(const Trace& trace);
+
+/// True iff every `next` equals what annotate_next_access would compute on
+/// the trace as it stands — i.e. the annotation is not just well-shaped but
+/// correct for the current id sequence. O(n) time, O(unique) space
+/// (backward sweep, no copy). The oracle consumers' guard against stale
+/// annotations surviving an id rewrite.
+[[nodiscard]] bool annotation_current(const Trace& trace);
 
 }  // namespace cdn

@@ -1,0 +1,123 @@
+#include "trace/stressors/scenarios.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdn::stress {
+
+namespace {
+
+// Chain parameters are derived from the base spec so every scenario keeps
+// the same *shape* (phases per trace, events per trace) at any scale.
+
+DriftConfig drift_for(const WorkloadSpec& base) {
+  DriftConfig cfg;
+  cfg.phase_length = std::max<std::size_t>(1, base.n_requests / 5);
+  cfg.id_lo = 1;
+  cfg.id_hi = base.catalog_size;
+  return cfg;
+}
+
+FlashCrowdConfig flash_for(const WorkloadSpec& base) {
+  FlashCrowdConfig cfg;
+  cfg.interval = std::max<std::size_t>(4, base.n_requests / 4);
+  cfg.ramp = cfg.interval / 16;
+  cfg.hold = cfg.interval / 4;
+  cfg.peak = 0.5;
+  cfg.hot_objects = 64;
+  return cfg;
+}
+
+ScanFloodConfig scan_for(const WorkloadSpec& base) {
+  ScanFloodConfig cfg;
+  cfg.interval = std::max<std::size_t>(4, base.n_requests / 4);
+  cfg.length = std::max<std::size_t>(1, cfg.interval / 5);
+  cfg.intensity = 0.95;
+  return cfg;
+}
+
+ChurnConfig churn_for(const WorkloadSpec& base) {
+  ChurnConfig cfg;
+  cfg.interval = std::max<std::size_t>(1, base.n_requests / 6);
+  cfg.fraction = 0.15;
+  cfg.id_lo = 1;
+  cfg.id_hi = base.catalog_size;
+  return cfg;
+}
+
+}  // namespace
+
+const std::vector<std::string>& stress_scenario_names() {
+  static const std::vector<std::string> kNames = {
+      "baseline", "drift", "flash", "scan", "churn", "sizemix", "storm",
+  };
+  return kNames;
+}
+
+StressScenario make_stress_scenario(const std::string& name, double scale) {
+  StressScenario sc;
+  sc.name = name;
+  sc.base = cdn_t_like(scale);
+  if (name == "baseline") {
+    sc.description = "unstressed CDN-T-like base";
+  } else if (name == "drift") {
+    sc.description = "diurnal popularity drift: catalog rank permutation "
+                     "rotates every n/5 requests";
+  } else if (name == "flash") {
+    sc.description = "flash crowds: fresh Zipf hot set ramps to 50% of "
+                     "traffic every n/4 requests";
+  } else if (name == "scan") {
+    sc.description = "scan flood: one-hit-wonder sweep overwrites 95% of a "
+                     "n/20 window every n/4 requests";
+  } else if (name == "churn") {
+    sc.description = "working-set churn: 15% of catalog ids retired and "
+                     "replaced every n/6 requests";
+  } else if (name == "sizemix") {
+    sc.description = "web/photo/video size mixture (70/25/5) redrawn per id";
+  } else if (name == "storm") {
+    sc.description = "drift + flash + sizemix composed";
+  } else {
+    throw std::invalid_argument("unknown stress scenario: " + name);
+  }
+  return sc;
+}
+
+std::vector<StressorPtr> make_scenario_chain(const StressScenario& sc) {
+  std::vector<StressorPtr> chain;
+  if (sc.name == "baseline") {
+    return chain;
+  }
+  if (sc.name == "drift") {
+    chain.push_back(std::make_unique<DriftStressor>(drift_for(sc.base)));
+  } else if (sc.name == "flash") {
+    chain.push_back(
+        std::make_unique<FlashCrowdStressor>(flash_for(sc.base)));
+  } else if (sc.name == "scan") {
+    chain.push_back(std::make_unique<ScanFloodStressor>(scan_for(sc.base)));
+  } else if (sc.name == "churn") {
+    chain.push_back(std::make_unique<ChurnStressor>(churn_for(sc.base)));
+  } else if (sc.name == "sizemix") {
+    chain.push_back(
+        std::make_unique<SizeMixStressor>(SizeMixConfig::web_photo_video()));
+  } else if (sc.name == "storm") {
+    // Id rewrites first (drift remaps the catalog, flash redirects), sizes
+    // last so the mixture governs whatever id survives the rewrites.
+    chain.push_back(std::make_unique<DriftStressor>(drift_for(sc.base)));
+    chain.push_back(
+        std::make_unique<FlashCrowdStressor>(flash_for(sc.base)));
+    chain.push_back(
+        std::make_unique<SizeMixStressor>(SizeMixConfig::web_photo_video()));
+  } else {
+    throw std::invalid_argument("unknown stress scenario: " + sc.name);
+  }
+  return chain;
+}
+
+Trace make_stressed_trace(const StressScenario& sc) {
+  const Trace base = generate_trace(sc.base);
+  Trace out = apply_stressors(base, make_scenario_chain(sc), sc.seed);
+  out.name = sc.name;
+  return out;
+}
+
+}  // namespace cdn::stress

@@ -1,0 +1,43 @@
+// Named stressed-workload scenarios: a fixed palette of (base generator,
+// stressor chain) pairs shared by bench_stress, the golden-master layer and
+// the robustness tests, so "the drift scenario" means the same bit-exact
+// trace everywhere it is cited.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/stressors/stressor.hpp"
+
+namespace cdn::stress {
+
+/// One named scenario: a scaled CDN-T-like base plus a stressor chain whose
+/// parameters are derived from the base's request count and catalog size
+/// (so a scaled-down scenario still sees multiple phases/events).
+struct StressScenario {
+  std::string name;         ///< "baseline", "drift", "flash", ...
+  std::string description;  ///< one-line human summary for reports
+  WorkloadSpec base;        ///< generator spec for the unstressed trace
+  std::uint64_t seed = 0x57e55;  ///< apply_stressors chain seed
+};
+
+/// Scenario names in canonical (report-row) order.
+[[nodiscard]] const std::vector<std::string>& stress_scenario_names();
+
+/// Builds the named scenario at `scale` (multiplies base request count).
+/// Throws std::invalid_argument for an unknown name.
+[[nodiscard]] StressScenario make_stress_scenario(const std::string& name,
+                                                  double scale = 1.0);
+
+/// Fresh stressor chain for `sc` (stressors are stateful; one chain per
+/// trace). Empty for "baseline".
+[[nodiscard]] std::vector<StressorPtr> make_scenario_chain(
+    const StressScenario& sc);
+
+/// generate_trace(sc.base) -> apply_stressors(chain) with the trace renamed
+/// to the scenario name.
+[[nodiscard]] Trace make_stressed_trace(const StressScenario& sc);
+
+}  // namespace cdn::stress

@@ -13,6 +13,7 @@
 #include "core/registry.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generator.hpp"
+#include "trace/stressors/scenarios.hpp"
 
 namespace cdn {
 namespace {
@@ -117,6 +118,83 @@ INSTANTIATE_TEST_SUITE_P(Policies, GoldenMasterPolicy,
                              if (c == '-') c = '_';
                            }
                            return name;
+                         });
+
+// ------------------------------------------- stressed-scenario masters --
+//
+// Same exact-counter discipline over two nonstationary scenarios from the
+// stressor layer (trace/stressors/scenarios.hpp): a flash-crowd and a
+// drift workload at golden scale. Pins the whole stressor pipeline
+// (generator -> chain -> canonicalization) plus the policies' behavior
+// under the nonstationarity SCIP's set-dueling exists for.
+
+const Trace& stressed_trace(const std::string& scenario) {
+  static const Trace flash = stress::make_stressed_trace(
+      stress::make_stress_scenario("flash", 0.04));
+  static const Trace drift = stress::make_stressed_trace(
+      stress::make_stress_scenario("drift", 0.04));
+  return scenario == "flash" ? flash : drift;
+}
+
+struct StressedGolden {
+  const char* scenario;
+  const char* policy;
+  std::uint64_t hits;
+  std::uint64_t bytes_hit;
+  std::uint64_t warm_hits;
+  std::uint64_t warm_bytes_hit;
+};
+
+// To re-pin after an intentional behavior change, print the SimResult
+// fields below and update (same protocol as kGolden).
+constexpr StressedGolden kStressedGolden[] = {
+    {"flash", "SCIP", 7'394u, 306'319'770u, 5'857u, 209'399'591u},
+    {"flash", "LRU", 7'448u, 307'726'431u, 5'902u, 210'507'697u},
+    {"drift", "SCIP", 3'119u, 102'627'051u, 2'624u, 86'138'152u},
+    {"drift", "LRU", 3'152u, 103'233'633u, 2'645u, 86'535'091u},
+};
+
+TEST(GoldenMaster, StressedTracesArePinned) {
+  const Trace& flash = stressed_trace("flash");
+  EXPECT_EQ(flash.requests.size(), 40'000u);
+  EXPECT_EQ(flash.unique_objects(), 23'223u);
+  EXPECT_EQ(flash.working_set_bytes(), 1'142'240'092u);
+  const Trace& drift = stressed_trace("drift");
+  EXPECT_EQ(drift.requests.size(), 40'000u);
+  EXPECT_EQ(drift.unique_objects(), 26'734u);
+  EXPECT_EQ(drift.working_set_bytes(), 1'343'587'998u);
+}
+
+class StressedGoldenPolicy : public ::testing::TestWithParam<StressedGolden> {
+};
+
+TEST_P(StressedGoldenPolicy, ExactCountersMatch) {
+  const StressedGolden& g = GetParam();
+  auto cache = make_cache(g.policy, kCapacity);
+  const auto res =
+      simulate(*cache, stressed_trace(g.scenario), golden_options());
+  EXPECT_EQ(res.requests, 40'000u);
+  EXPECT_EQ(res.hits, g.hits) << "object hits drifted";
+  EXPECT_EQ(res.bytes_hit, g.bytes_hit) << "byte hits drifted";
+  EXPECT_EQ(res.warm_hits, g.warm_hits) << "warm object hits drifted";
+  EXPECT_EQ(res.warm_bytes_hit, g.warm_bytes_hit) << "warm byte hits drifted";
+}
+
+TEST_P(StressedGoldenPolicy, ReRunIsBitwiseIdentical) {
+  const StressedGolden& g = GetParam();
+  auto c1 = make_cache(g.policy, kCapacity);
+  auto c2 = make_cache(g.policy, kCapacity);
+  const auto r1 = simulate(*c1, stressed_trace(g.scenario), golden_options());
+  const auto r2 = simulate(*c2, stressed_trace(g.scenario), golden_options());
+  EXPECT_TRUE(deterministic_equal(r1, r2));
+  EXPECT_EQ(r1.window_miss_ratios, r2.window_miss_ratios);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, StressedGoldenPolicy,
+                         ::testing::ValuesIn(kStressedGolden),
+                         [](const auto& info) {
+                           return std::string(info.param.scenario) + "_" +
+                                  info.param.policy;
                          });
 
 }  // namespace

@@ -1,0 +1,433 @@
+// Statistical and determinism contracts for the workload-stressor layer
+// (trace/stressors). Mirrors test_trace_stats's chi-square methodology:
+// fixed seeds make every test deterministic, but thresholds sit at analytic
+// critical values so the tests double as genuine GOF tests if the RNG or a
+// stressor changes.
+//
+// Also pins the two latent stationarity assumptions the stressors surfaced
+// in the rest of the tree (see trace/stressors/stressor.hpp):
+//  * per-id size stability — a naive id-rewriting chain violates it, and
+//    apply_stressors's first-seen-wins canonicalization restores it;
+//  * oracle-annotation staleness — is_annotated() accepts annotations
+//    computed before an id rewrite, annotation_current() rejects them, and
+//    apply_stressors resets them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/oracle.hpp"
+#include "trace/stressors/scenarios.hpp"
+#include "trace/stressors/stressor.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cdn::stress {
+namespace {
+
+// Critical value of chi-square with 99 degrees of freedom at p = 0.001
+// (same threshold as test_trace_stats: 100-cell marginals).
+constexpr double kChi2Crit99DofP001 = 148.23;
+
+/// Pure Zipf IRM base trace over ids [1, catalog]; per-id deterministic
+/// sizes so the base itself upholds size stability.
+Trace zipf_trace(std::size_t n_requests, std::size_t catalog, double alpha,
+                 std::uint64_t seed) {
+  Trace t;
+  t.name = "zipf";
+  t.requests.resize(n_requests);
+  ZipfSampler z(catalog, alpha);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    Request& r = t.requests[i];
+    r.time = static_cast<std::int64_t>(i);
+    r.id = 1 + z.sample(rng);
+    r.size = 100 + (hash64(r.id) % 1'000);
+  }
+  return t;
+}
+
+bool traces_bitwise_equal(const Trace& a, const Trace& b) {
+  if (a.requests.size() != b.requests.size()) return false;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const Request& x = a.requests[i];
+    const Request& y = b.requests[i];
+    if (x.time != y.time || x.id != y.id || x.size != y.size ||
+        x.next != y.next) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- drift --
+
+TEST(DriftStressor, PerPhaseMarginalStaysZipf) {
+  // 3 phases x 200k draws over a 100-object catalog. Within each phase the
+  // drifted stream must still be Zipf(alpha) — the permutation relabels
+  // ranks, it must not distort the law.
+  constexpr std::size_t kCatalog = 100;
+  constexpr std::size_t kPhase = 200'000;
+  constexpr double kAlpha = 0.8;
+  const Trace base = zipf_trace(3 * kPhase, kCatalog, kAlpha, 42);
+
+  DriftConfig cfg;
+  cfg.phase_length = kPhase;
+  cfg.id_lo = 1;
+  cfg.id_hi = kCatalog;
+  std::vector<StressorPtr> chain;
+  chain.push_back(std::make_unique<DriftStressor>(cfg));
+  const Trace stressed = apply_stressors(base, chain, 7);
+
+  const DriftStressor ref(cfg);
+  const ZipfSampler z(kCatalog, kAlpha);
+  for (std::size_t phase = 0; phase < 3; ++phase) {
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    for (std::size_t i = phase * kPhase; i < (phase + 1) * kPhase; ++i) {
+      ++counts[stressed.requests[i].id];
+    }
+    // Rank r's mass must now sit on mapped(id_r, phase).
+    double chi2 = 0.0;
+    for (std::size_t r = 0; r < kCatalog; ++r) {
+      const std::uint64_t id = ref.mapped(r + 1, phase);
+      const double expected = static_cast<double>(kPhase) * z.pmf(r);
+      ASSERT_GE(expected, 100.0);  // all cells well-populated
+      const double d = static_cast<double>(counts[id]) - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, kChi2Crit99DofP001) << "phase " << phase;
+  }
+}
+
+TEST(DriftStressor, PermutationRotatesAndStaysABijection) {
+  DriftConfig cfg;
+  cfg.phase_length = 1'000;
+  cfg.id_lo = 1;
+  cfg.id_hi = 500;
+  const DriftStressor d(cfg);
+
+  // Phase 0 is the identity; later phases move nearly every id, and
+  // distinct phases use distinct permutations.
+  std::size_t moved1 = 0;
+  std::size_t differ12 = 0;
+  std::set<std::uint64_t> image1;
+  for (std::uint64_t id = 1; id <= 500; ++id) {
+    EXPECT_EQ(d.mapped(id, 0), id);
+    const std::uint64_t m1 = d.mapped(id, 1);
+    const std::uint64_t m2 = d.mapped(id, 2);
+    EXPECT_GE(m1, cfg.id_lo);
+    EXPECT_LE(m1, cfg.id_hi);
+    image1.insert(m1);
+    moved1 += m1 != id;
+    differ12 += m1 != m2;
+  }
+  EXPECT_EQ(image1.size(), 500u);  // bijection onto the id range
+  EXPECT_GT(moved1, 490u);
+  EXPECT_GT(differ12, 490u);
+  // Ids outside the catalog range pass through untouched.
+  EXPECT_EQ(d.mapped(501, 1), 501u);
+  EXPECT_EQ(d.mapped(1ULL << 40, 3), 1ULL << 40);
+}
+
+// ---------------------------------------------------------------- flash --
+
+TEST(FlashCrowdStressor, HotSetsRotateAndRampHolds) {
+  constexpr std::size_t kN = 400'000;
+  const Trace base = zipf_trace(kN, 1'000, 0.9, 11);
+
+  FlashCrowdConfig cfg;
+  cfg.interval = 100'000;
+  cfg.ramp = 10'000;
+  cfg.hold = 30'000;
+  cfg.peak = 0.5;
+  cfg.hot_objects = 64;
+  std::vector<StressorPtr> chain;
+  chain.push_back(std::make_unique<FlashCrowdStressor>(cfg));
+  const Trace stressed = apply_stressors(base, chain, 13);
+
+  const FlashCrowdStressor ref(cfg);
+  // Hot id ranges of consecutive events are disjoint by construction.
+  EXPECT_LT(ref.hot_id(0, cfg.hot_objects - 1), ref.hot_id(1, 0));
+
+  for (std::size_t event = 0; event < 4; ++event) {
+    // Hold window: redirected fraction ~= peak (binomial, n = 30k).
+    std::size_t redirected = 0;
+    std::uint64_t rank0 = 0;
+    std::uint64_t rank_tail = 0;
+    const std::size_t lo = event * cfg.interval + cfg.ramp;
+    const std::size_t hi = lo + cfg.hold;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t id = stressed.requests[i].id;
+      if (id < cfg.id_base) continue;
+      ++redirected;
+      const std::uint64_t k = id - ref.hot_id(event, 0);
+      ASSERT_LT(k, cfg.hot_objects) << "hot id from a foreign event";
+      rank0 += k == 0;
+      rank_tail += k >= cfg.hot_objects / 2;
+    }
+    const double frac =
+        static_cast<double>(redirected) / static_cast<double>(cfg.hold);
+    EXPECT_NEAR(frac, cfg.peak, 0.02) << "event " << event;
+    // Zipf within the hot set: the hottest member dominates the tail half.
+    EXPECT_GT(rank0, rank_tail) << "event " << event;
+    // Quiet tail of the event window: no redirection at all.
+    for (std::size_t i = hi; i < (event + 1) * cfg.interval; ++i) {
+      ASSERT_LT(stressed.requests[i].id, cfg.id_base) << i;
+    }
+  }
+}
+
+TEST(FlashCrowdStressor, RedirectProbabilityShape) {
+  FlashCrowdConfig cfg;
+  cfg.interval = 1'000;
+  cfg.ramp = 100;
+  cfg.hold = 200;
+  cfg.peak = 0.4;
+  const FlashCrowdStressor f(cfg);
+  EXPECT_DOUBLE_EQ(f.redirect_probability(0), 0.0);
+  EXPECT_NEAR(f.redirect_probability(50), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(f.redirect_probability(100), 0.4);
+  EXPECT_DOUBLE_EQ(f.redirect_probability(299), 0.4);
+  EXPECT_DOUBLE_EQ(f.redirect_probability(300), 0.0);
+  EXPECT_DOUBLE_EQ(f.redirect_probability(999), 0.0);
+  // Periodic: the second event ramps identically.
+  EXPECT_NEAR(f.redirect_probability(1'050), 0.2, 1e-12);
+}
+
+// ----------------------------------------------------------------- scan --
+
+TEST(ScanFloodStressor, WindowIsOneHitWondersAtIntensity) {
+  constexpr std::size_t kN = 300'000;
+  const Trace base = zipf_trace(kN, 1'000, 0.9, 17);
+
+  ScanFloodConfig cfg;
+  cfg.interval = 100'000;
+  cfg.length = 20'000;
+  cfg.intensity = 0.95;
+  std::vector<StressorPtr> chain;
+  chain.push_back(std::make_unique<ScanFloodStressor>(cfg));
+  const Trace stressed = apply_stressors(base, chain, 19);
+
+  std::unordered_map<std::uint64_t, std::uint64_t> scan_counts;
+  std::size_t in_window = 0;
+  std::size_t replaced = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const bool window = (i % cfg.interval) < cfg.length;
+    const std::uint64_t id = stressed.requests[i].id;
+    if (!window) {
+      ASSERT_LT(id, cfg.id_base) << "scan id outside a scan window";
+      continue;
+    }
+    ++in_window;
+    if (id >= cfg.id_base) {
+      ++replaced;
+      ++scan_counts[id];
+    }
+  }
+  // Replaced fraction ~= intensity (binomial over 60k window requests).
+  const double frac =
+      static_cast<double>(replaced) / static_cast<double>(in_window);
+  EXPECT_NEAR(frac, cfg.intensity, 0.01);
+  // Every scan id is a true one-hit wonder.
+  for (const auto& [id, n] : scan_counts) {
+    ASSERT_EQ(n, 1u) << "scan id " << id << " repeated";
+  }
+}
+
+// ---------------------------------------------------------------- churn --
+
+TEST(ChurnStressor, RetiresAtConfiguredRateAndIsPure) {
+  ChurnConfig cfg;
+  cfg.interval = 1'000;
+  cfg.fraction = 0.10;
+  cfg.id_lo = 1;
+  cfg.id_hi = 20'000;
+  const ChurnStressor c(cfg);
+
+  // Survival after E epochs ~= (1 - fraction)^E over 20k ids.
+  for (const std::size_t epochs : {1u, 5u}) {
+    std::size_t survived = 0;
+    for (std::uint64_t id = cfg.id_lo; id <= cfg.id_hi; ++id) {
+      const std::uint64_t m = c.mapped(id, epochs);
+      EXPECT_EQ(m, c.mapped(id, epochs)) << "mapped not pure";
+      if (m == id) {
+        ++survived;
+      } else {
+        EXPECT_GE(m, cfg.id_base) << "replacement outside churn id space";
+      }
+    }
+    const double expect = std::pow(1.0 - cfg.fraction,
+                                   static_cast<double>(epochs));
+    const double got = static_cast<double>(survived) / 20'000.0;
+    EXPECT_NEAR(got, expect, 0.01) << "epochs " << epochs;
+  }
+  // Churn is cumulative: the epoch-1 image of a churned id is preserved as
+  // the prefix of its later walks (the id does not "un-churn").
+  std::size_t checked = 0;
+  for (std::uint64_t id = cfg.id_lo; id <= 200 && checked < 50; ++id) {
+    if (c.mapped(id, 1) == id) continue;
+    ++checked;
+    // Once churned at epoch 1, it never returns to the original id.
+    EXPECT_NE(c.mapped(id, 2), id);
+    EXPECT_NE(c.mapped(id, 5), id);
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+// --------------------------------------------------------------- sizemix --
+
+TEST(SizeMixStressor, ClassWeightsAndSizeOrdering) {
+  const SizeMixConfig cfg = SizeMixConfig::web_photo_video();
+  SizeMixStressor mix(cfg);
+
+  constexpr std::uint64_t kIds = 50'000;
+  std::vector<std::size_t> counts(cfg.classes.size(), 0);
+  std::vector<double> size_sums(cfg.classes.size(), 0.0);
+  for (std::uint64_t id = 1; id <= kIds; ++id) {
+    const std::size_t c = mix.class_of(id);
+    ASSERT_LT(c, cfg.classes.size());
+    ++counts[c];
+    Request r;
+    r.id = id;
+    Rng unused(1);
+    mix.transform(0, r, unused);
+    size_sums[c] += static_cast<double>(r.size);
+    // Per-id size is stable: repeat transform yields the same size.
+    Request r2;
+    r2.id = id;
+    mix.transform(99, r2, unused);
+    ASSERT_EQ(r.size, r2.size);
+  }
+  // Hash-assigned class shares within 1% of the configured weights.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kIds, 0.70, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kIds, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kIds, 0.05, 0.01);
+  // Mean sizes order as web < photo < video.
+  const double web = size_sums[0] / static_cast<double>(counts[0]);
+  const double photo = size_sums[1] / static_cast<double>(counts[1]);
+  const double video = size_sums[2] / static_cast<double>(counts[2]);
+  EXPECT_LT(web, photo);
+  EXPECT_LT(photo, video);
+}
+
+// ----------------------------------------------- determinism + scenarios --
+
+TEST(StressScenarios, EveryScenarioIsBitwiseRerunDeterministic) {
+  for (const std::string& name : stress_scenario_names()) {
+    SCOPED_TRACE(name);
+    const StressScenario sc = make_stress_scenario(name, 0.02);
+    const Trace a = make_stressed_trace(sc);
+    const Trace b = make_stressed_trace(sc);
+    ASSERT_EQ(a.requests.size(), sc.base.n_requests);
+    EXPECT_TRUE(traces_bitwise_equal(a, b));
+  }
+}
+
+TEST(StressScenarios, StressorsActuallyChangeTheStream) {
+  const Trace baseline =
+      make_stressed_trace(make_stress_scenario("baseline", 0.02));
+  for (const std::string& name : stress_scenario_names()) {
+    if (name == "baseline") continue;
+    SCOPED_TRACE(name);
+    const Trace stressed =
+        make_stressed_trace(make_stress_scenario(name, 0.02));
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < baseline.requests.size(); ++i) {
+      diff += baseline.requests[i].id != stressed.requests[i].id ||
+              baseline.requests[i].size != stressed.requests[i].size;
+    }
+    EXPECT_GT(diff, baseline.requests.size() / 100);
+  }
+}
+
+TEST(StressScenarios, UnknownScenarioNameThrows) {
+  EXPECT_THROW(make_stress_scenario("no-such-scenario"),
+               std::invalid_argument);
+}
+
+// ------------------------------------- latent stationarity assumptions --
+
+TEST(LatentAssumptions, NaiveChainBreaksSizeStabilityAndApplyRestoresIt) {
+  // Drift remaps catalog ids, so a naive per-request application of the
+  // chain (exactly what apply_stressors does MINUS canonicalization) makes
+  // some id appear with two different sizes — the stream the policy layer
+  // silently mis-accounts (LruQueue nodes never resize; working_set_bytes
+  // counts the first size seen). This is the pre-fix failure mode.
+  constexpr std::size_t kPhase = 5'000;
+  const Trace base = zipf_trace(3 * kPhase, 200, 0.8, 23);
+  DriftConfig cfg;
+  cfg.phase_length = kPhase;
+  cfg.id_lo = 1;
+  cfg.id_hi = 200;
+
+  const auto multi_sized_ids = [](const Trace& t) {
+    std::unordered_map<std::uint64_t, std::uint64_t> first;
+    std::size_t bad = 0;
+    for (const Request& r : t.requests) {
+      const auto [it, inserted] = first.try_emplace(r.id, r.size);
+      bad += !inserted && it->second != r.size;
+    }
+    return bad;
+  };
+
+  Trace naive = base;
+  {
+    DriftStressor d(cfg);
+    Rng stream(99);
+    for (std::size_t i = 0; i < naive.requests.size(); ++i) {
+      d.transform(i, naive.requests[i], stream);
+    }
+  }
+  EXPECT_GT(multi_sized_ids(naive), 0u)
+      << "naive drift no longer violates size stability — if the base "
+         "gained per-rank-identical sizes, strengthen this fixture";
+
+  std::vector<StressorPtr> chain;
+  chain.push_back(std::make_unique<DriftStressor>(cfg));
+  const Trace fixed = apply_stressors(base, chain, 99);
+  EXPECT_EQ(multi_sized_ids(fixed), 0u);
+}
+
+TEST(LatentAssumptions, StaleAnnotationsPassShapeCheckButNotCurrency) {
+  // Annotate, then rewrite ids (as any stressor does): the `next` indices
+  // are now wrong, yet the shape-only is_annotated() still accepts them.
+  // annotation_current() is the guard that catches exactly this.
+  Trace t = zipf_trace(2'000, 50, 0.8, 29);
+  annotate_next_access(t);
+  ASSERT_TRUE(is_annotated(t));
+  ASSERT_TRUE(annotation_current(t));
+
+  DriftConfig cfg;
+  cfg.phase_length = 500;
+  cfg.id_lo = 1;
+  cfg.id_hi = 50;
+  DriftStressor d(cfg);
+  Rng stream(1);
+  for (std::size_t i = 0; i < t.requests.size(); ++i) {
+    d.transform(i, t.requests[i], stream);
+  }
+  EXPECT_TRUE(is_annotated(t));  // the latent hole: shape still fine
+  EXPECT_FALSE(annotation_current(t));
+
+  // apply_stressors resets the annotations outright...
+  const Trace t2 = zipf_trace(2'000, 50, 0.8, 29);
+  Trace annotated = t2;
+  annotate_next_access(annotated);
+  std::vector<StressorPtr> chain;
+  chain.push_back(std::make_unique<DriftStressor>(cfg));
+  const Trace stressed = apply_stressors(annotated, chain, 1);
+  for (const Request& r : stressed.requests) {
+    ASSERT_EQ(r.next, -1);
+  }
+  // ...and a fresh annotation of the stressed trace is current again.
+  Trace reannotated = stressed;
+  annotate_next_access(reannotated);
+  EXPECT_TRUE(annotation_current(reannotated));
+}
+
+}  // namespace
+}  // namespace cdn::stress

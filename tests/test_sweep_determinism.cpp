@@ -12,6 +12,7 @@
 #include "core/registry.hpp"
 #include "sim/sweep.hpp"
 #include "trace/generator.hpp"
+#include "trace/stressors/scenarios.hpp"
 
 namespace cdn {
 namespace {
@@ -75,6 +76,44 @@ TEST(SweepDeterminism, MatchesSerialSimulate) {
     const auto serial = simulate(*cache, *jobs[i].trace, jobs[i].options);
     SCOPED_TRACE("job " + std::to_string(i) + " (" + serial.policy + ")");
     EXPECT_TRUE(deterministic_equal(swept[i], serial));
+  }
+}
+
+// Stressed sweep: the same 1/2/8-thread bitwise-identity contract over a
+// nonstationary trace (the composed "storm" scenario), including metrics
+// blobs — run_sweep must stay deterministic when the workload itself is
+// the adversarial case the stressor layer generates.
+TEST(SweepDeterminism, StressedSweepIsThreadCountInvariant) {
+  static const Trace stressed = stress::make_stressed_trace(
+      stress::make_stress_scenario("storm", 0.02));
+
+  std::vector<SweepJob> jobs;
+  SimOptions opts;
+  opts.window = 2'000;
+  opts.collect_policy_metrics = true;
+  for (const char* name : {"SCIP", "LRU", "GDSF", "S4LRU"}) {
+    for (const std::uint64_t cap : {2ULL << 20, 8ULL << 20}) {
+      jobs.push_back(
+          SweepJob{[name, cap] { return make_cache(name, cap); }, &stressed,
+                   opts});
+    }
+  }
+
+  const auto r1 = run_sweep(jobs, 1);
+  const auto r2 = run_sweep(jobs, 2);
+  const auto r8 = run_sweep(jobs, 8);
+  ASSERT_EQ(r1.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i) + " (" + r1[i].policy + ")");
+    EXPECT_TRUE(deterministic_equal(r1[i], r2[i]));
+    EXPECT_TRUE(deterministic_equal(r1[i], r8[i]));
+    ASSERT_EQ(r1[i].window_miss_ratios.size(),
+              r8[i].window_miss_ratios.size());
+    for (std::size_t w = 0; w < r1[i].window_miss_ratios.size(); ++w) {
+      EXPECT_EQ(r1[i].window_miss_ratios[w], r8[i].window_miss_ratios[w]);
+    }
+    EXPECT_EQ(r1[i].metrics_json, r8[i].metrics_json);
+    EXPECT_FALSE(r1[i].metrics_json.empty());
   }
 }
 
