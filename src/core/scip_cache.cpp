@@ -116,6 +116,7 @@ bool AdvisedLruCache::access(const Request& req) {
                           : access_impl(req, *advisor_);
 }
 
+// detlint:allow(accounting, fast_ is a non-owning cached downcast of advisor_, whose bytes are charged)
 std::uint64_t AdvisedLruCache::metadata_bytes() const {
   return q_.metadata_bytes() + advisor_->metadata_bytes();
 }

@@ -24,6 +24,7 @@ class GdsfCache final : public Cache {
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return used_bytes_;
   }
+  // detlint:allow(accounting, order_ set nodes are the 64-byte term of the per-object constant)
   [[nodiscard]] std::uint64_t metadata_bytes() const override {
     return objects_.size() * (sizeof(Obj) + 48 + 64);
   }

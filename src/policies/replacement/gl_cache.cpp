@@ -168,6 +168,7 @@ bool GlCache::access(const Request& req) {
   return false;
 }
 
+// detlint:allow(accounting, seg_order_ holds 8-byte seg ids folded into the per-segment 48-byte overhead term)
 std::uint64_t GlCache::metadata_bytes() const {
   std::uint64_t total = objects_.size() * (16 + 48);
   for (const auto& [sid, s] : segments_) {

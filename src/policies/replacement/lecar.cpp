@@ -91,6 +91,7 @@ bool LeCarCache::access(const Request& req) {
   return false;
 }
 
+// detlint:allow(accounting, lfu_order_ is the explicit q_.count() * 64 lfu-set-node term)
 std::uint64_t LeCarCache::metadata_bytes() const {
   return q_.metadata_bytes() + q_.count() * 64 /* lfu set node */ +
          ghost_lru_.metadata_bytes() + ghost_lfu_.metadata_bytes() +

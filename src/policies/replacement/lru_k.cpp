@@ -138,6 +138,7 @@ void LruKCache::sample_metrics(obs::MetricRegistry& reg) {
   }
 }
 
+// detlint:allow(accounting, order_ is the 64-byte set-node term; retained_fifo_ ids ride in the 48-byte hash-overhead term)
 std::uint64_t LruKCache::metadata_bytes() const {
   // Obj record + history timestamps + set node + hash overhead.
   const std::uint64_t per_obj =

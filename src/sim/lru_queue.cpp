@@ -256,6 +256,7 @@ void LruQueue::for_each_from_lru(
   }
 }
 
+// detlint:allow(accounting, slab_/dense_/index_ are the sizeof-derived kPerEntry term; free-listed slots hold no live metadata)
 std::uint64_t LruQueue::metadata_bytes() const noexcept {
   // Slab node + dense slot + flat-index share. The index share is three
   // inline slots: the open-addressing table runs between 1/4 and 1/2

@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "util/attr.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
@@ -63,15 +64,15 @@ class LruQueue {
   [[nodiscard]] const Node* find(std::uint64_t id) const;
   /// find() with the caller-precomputed hash64(id) — the per-request path
   /// hashes each id exactly once and threads the hash through every probe.
-  [[nodiscard]] Node* find_hashed(std::uint64_t id, std::uint64_t h);
+  [[nodiscard]] CDN_HOT Node* find_hashed(std::uint64_t id, std::uint64_t h);
 
   /// Inserts a new object (must not be present). Returns its node.
   Node& insert_mru(std::uint64_t id, std::uint64_t size);
   Node& insert_lru(std::uint64_t id, std::uint64_t size);
-  Node& insert_mru_hashed(std::uint64_t id, std::uint64_t size,
-                          std::uint64_t h);
-  Node& insert_lru_hashed(std::uint64_t id, std::uint64_t size,
-                          std::uint64_t h);
+  CDN_HOT Node& insert_mru_hashed(std::uint64_t id, std::uint64_t size,
+                                  std::uint64_t h);
+  CDN_HOT Node& insert_lru_hashed(std::uint64_t id, std::uint64_t size,
+                                  std::uint64_t h);
 
   /// Moves an existing object to the MRU end. No-op if absent.
   void touch_mru(std::uint64_t id);
@@ -84,8 +85,8 @@ class LruQueue {
   // Node-based relinks: `n` must be a live node obtained from find() with no
   // intervening mutation. They skip the index probe entirely (the caller
   // already paid it) — the found-node fast path of every queue policy.
-  void touch_mru(Node& n);
-  void demote_lru(Node& n);
+  CDN_HOT void touch_mru(Node& n);
+  CDN_HOT void demote_lru(Node& n);
 
   /// Re-inserts a resident object at the MRU / LRU end IN PLACE: same slab
   /// slot, same index entry, `insert_pos` updated — equivalent to the
@@ -94,18 +95,19 @@ class LruQueue {
   /// per-object field other than `insert_pos` is preserved; callers that
   /// relied on erase+insert zeroing `hits`/ticks must now set them
   /// explicitly (AdvisedLruCache does).
-  Node& reinsert_mru(Node& n);
-  Node& reinsert_lru(Node& n);
+  CDN_HOT Node& reinsert_mru(Node& n);
+  CDN_HOT Node& reinsert_lru(Node& n);
 
   /// Removes and returns the LRU-end node. Queue must be non-empty.
-  Node pop_lru();
+  CDN_HOT Node pop_lru();
   /// pop_lru() that also reports hash64(victim.id), which it computed for
   /// its own index erase — the eviction path reuses it for the history
   /// lists instead of re-hashing the victim id.
-  Node pop_lru(std::uint64_t* victim_hash_out);
+  CDN_HOT Node pop_lru(std::uint64_t* victim_hash_out);
   /// Removes `id`; returns true and copies the node into `out` if present.
   bool erase(std::uint64_t id, Node* out = nullptr);
-  bool erase_hashed(std::uint64_t id, std::uint64_t h, Node* out = nullptr);
+  CDN_HOT bool erase_hashed(std::uint64_t id, std::uint64_t h,
+                            Node* out = nullptr);
 
   /// Pre-sizes the slab, dense vector and hash index for `n` resident
   /// objects so the warm-up phase does not pay reallocation/rehash stalls;

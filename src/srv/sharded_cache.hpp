@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "util/attr.hpp"
 #include "srv/shard_stats.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -95,8 +96,8 @@ class ShardedCache final : public Cache {
   /// `first_shard` rotates the shard visit order (worker w passes w so
   /// concurrent batches start on different stripes); it never changes the
   /// result, only the locking schedule.
-  void access_batch(const Request* reqs, std::size_t n, bool* hits_out,
-                    std::size_t first_shard = 0);
+  CDN_HOT void access_batch(const Request* reqs, std::size_t n,
+                            bool* hits_out, std::size_t first_shard = 0);
 
   /// Point-in-time per-shard stats; one lock acquisition per shard, no
   /// global lock. Shards appear in index order.
@@ -114,10 +115,10 @@ class ShardedCache final : public Cache {
 
   /// Serves order[begin, end) of the batch against one shard; the caller
   /// holds the shard's lock.
-  void serve_run_locked(Shard& s, const Request* reqs,
-                        const std::uint32_t* order, std::uint32_t begin,
-                        std::uint32_t end, bool* hits_out)
-      CDN_REQUIRES(s.mu);
+  CDN_HOT void serve_run_locked(Shard& s, const Request* reqs,
+                                const std::uint32_t* order,
+                                std::uint32_t begin, std::uint32_t end,
+                                bool* hits_out) CDN_REQUIRES(s.mu);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::string policy_;

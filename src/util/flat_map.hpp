@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/attr.hpp"
 #include "util/rng.hpp"
 
 namespace cdn {
@@ -66,7 +67,8 @@ class FlatMap {
   }
 
   /// find() with the caller-precomputed hash_of(key).
-  [[nodiscard]] V* find_hashed(const K& key, std::uint64_t h) noexcept {
+  [[nodiscard]] CDN_HOT V* find_hashed(const K& key,
+                                       std::uint64_t h) noexcept {
     assert(h == hash_of(key));
     if (size_ == 0) return nullptr;
     for (std::size_t i = static_cast<std::size_t>(h) & mask_;; i = next(i)) {
@@ -87,7 +89,8 @@ class FlatMap {
   }
 
   /// insert() with the caller-precomputed hash_of(key).
-  bool insert_hashed(const K& key, const V& value, std::uint64_t h) {
+  CDN_HOT bool insert_hashed(const K& key, const V& value,
+                             std::uint64_t h) {
     bool inserted = false;
     V* slot = upsert_hashed(key, h, &inserted);
     if (!inserted) return false;
@@ -101,7 +104,7 @@ class FlatMap {
   /// caller must assign it) or existing (value untouched). May grow the
   /// table (even when the key turns out to be present, exactly like
   /// insert() always did).
-  V* upsert_hashed(const K& key, std::uint64_t h, bool* inserted) {
+  CDN_HOT V* upsert_hashed(const K& key, std::uint64_t h, bool* inserted) {
     assert(h == hash_of(key));
     if (slots_.empty() ||
         (size_ + 1) * kMaxLoadNum > slots_.size() * kMaxLoadDen) {
@@ -135,7 +138,7 @@ class FlatMap {
   /// `h`. Purely advisory — never changes behavior — and safe on an empty
   /// map. Used by the batched serving path and the SoA replay loop to
   /// overlap probe-miss latency across requests.
-  void prefetch_hashed(std::uint64_t h) const noexcept {
+  CDN_HOT void prefetch_hashed(std::uint64_t h) const noexcept {
 #if defined(__GNUC__) || defined(__clang__)
     if (!slots_.empty()) {
       __builtin_prefetch(&slots_[static_cast<std::size_t>(h) & mask_]);
@@ -151,7 +154,7 @@ class FlatMap {
   }
 
   /// erase() with the caller-precomputed hash_of(key).
-  bool erase_hashed(const K& key, std::uint64_t h) noexcept {
+  CDN_HOT bool erase_hashed(const K& key, std::uint64_t h) noexcept {
     assert(h == hash_of(key));
     if (size_ == 0) return false;
     std::size_t hole = static_cast<std::size_t>(h) & mask_;

@@ -10,7 +10,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "model.hpp"
 #include "obs/json.hpp"
+#include "passes.hpp"
 
 namespace cdn::detlint {
 namespace {
@@ -32,107 +34,11 @@ bool is_header(const std::string& rel) {
           rel.rfind(".h") == rel.size() - 2);
 }
 
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else if (c != '\r') {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
 std::string trim(const std::string& s) {
   std::size_t b = 0, e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
-}
-
-// Produces a "code view" of the file: string/char literal contents, line
-// comments, and block comments are blanked out (lengths preserved so
-// columns and line numbers stay aligned). Rules match against this view,
-// which keeps prose like `// seeded, no random_device` from firing.
-std::vector<std::string> strip_noncode(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& line : raw) {
-    std::string code = line;
-    std::size_t i = 0;
-    while (i < code.size()) {
-      if (in_block) {
-        if (code.compare(i, 2, "*/") == 0 && i + 1 < code.size()) {
-          code[i] = ' ';
-          code[i + 1] = ' ';
-          i += 2;
-          in_block = false;
-        } else {
-          code[i++] = ' ';
-        }
-        continue;
-      }
-      const char c = code[i];
-      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
-        for (std::size_t j = i; j < code.size(); ++j) code[j] = ' ';
-        break;
-      }
-      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
-        code[i] = ' ';
-        code[i + 1] = ' ';
-        i += 2;
-        in_block = true;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        std::size_t j = i + 1;
-        while (j < code.size()) {
-          if (code[j] == '\\' && j + 1 < code.size()) {
-            code[j] = ' ';
-            code[j + 1] = ' ';
-            j += 2;
-            continue;
-          }
-          if (code[j] == quote) break;
-          code[j] = ' ';
-          ++j;
-        }
-        i = (j < code.size()) ? j + 1 : j;
-        continue;
-      }
-      ++i;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-// Parses `detlint:allow(rule-a, rule-b)` comments. The suppression covers
-// the line it sits on and the line directly below (so it can ride above
-// the offending statement).
-std::vector<std::set<std::string>> allowed_rules_per_line(
-    const std::vector<std::string>& raw) {
-  static const std::regex kAllow(R"(detlint:allow\(([^)]*)\))");
-  std::vector<std::set<std::string>> allowed(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(raw[i], m, kAllow)) continue;
-    std::stringstream ss(m[1].str());
-    std::string id;
-    while (std::getline(ss, id, ',')) {
-      id = trim(id);
-      if (id.empty()) continue;
-      allowed[i].insert(id);
-      if (i + 1 < raw.size()) allowed[i + 1].insert(id);
-    }
-  }
-  return allowed;
 }
 
 // Collects identifiers declared in this file with an unordered container
@@ -237,6 +143,23 @@ const RuleInfo kRules[] = {
      "raw std locking primitive outside src/util/ (use the annotated "
      "cdn::Mutex/MutexLock/CondVar)"},
     {Rule::kPragmaOnce, "pragma-once", "header missing '#pragma once'"},
+    {Rule::kLockOrderCycle, "lock-order-cycle",
+     "cycle in the cross-TU mutex acquisition-order graph (potential "
+     "deadlock)"},
+    {Rule::kLockInHot, "lock-in-hot",
+     "lock acquisition inside an annotated hot region"},
+    {Rule::kAllocInHot, "alloc-in-hot",
+     "allocation (new/make_unique/string temporary/unreserved container "
+     "growth) inside an annotated hot region"},
+    {Rule::kThrowInHot, "throw-in-hot",
+     "'throw' inside an annotated hot region"},
+    {Rule::kVirtualInHot, "virtual-in-hot",
+     "call resolving to a virtual method inside an annotated hot region"},
+    {Rule::kIoInHot, "io-in-hot",
+     "stream/stdio IO inside an annotated hot region"},
+    {Rule::kAccounting, "accounting",
+     "metadata_bytes() does not reference every container/slab member "
+     "(accounting drift)"},
 };
 
 }  // namespace
@@ -274,8 +197,12 @@ const std::vector<Rule>& all_rules() {
 std::vector<Finding> scan_source(const std::string& rel_path,
                                  const std::string& text,
                                  const Options& opts) {
-  const std::vector<std::string> raw = split_lines(text);
-  const std::vector<std::string> code = strip_noncode(raw);
+  // v2: the shared phase-1 tokenizer (model.hpp) handles raw strings,
+  // line-continued // comments, and digit separators that the v1 stripper
+  // mis-lexed.
+  const CodeView view = build_code_view(text);
+  const std::vector<std::string>& raw = view.raw;
+  const std::vector<std::string>& code = view.code;
   const std::vector<std::set<std::string>> allowed =
       allowed_rules_per_line(raw);
 
@@ -393,37 +320,97 @@ std::vector<Finding> scan_source(const std::string& rel_path,
   return findings;
 }
 
-std::vector<Finding> scan_tree(const std::string& root,
-                               const std::vector<std::string>& subdirs,
-                               const Options& opts) {
+namespace {
+
+/// One path component against the exclude list: exact match, or prefix
+/// match when the exclude fragment ends with '*'.
+bool component_excluded(const std::string& comp,
+                        const std::vector<std::string>& excludes) {
+  for (const std::string& ex : excludes) {
+    if (!ex.empty() && ex.back() == '*') {
+      const std::string prefix = ex.substr(0, ex.size() - 1);
+      if (comp.compare(0, prefix.size(), prefix) == 0) return true;
+    } else if (comp == ex) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool path_excluded(const fs::path& rel, const Options& opts) {
+  for (const fs::path& comp : rel) {
+    if (component_excluded(comp.string(), opts.exclude_dirs)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> list_sources(const std::string& root,
+                                      const std::vector<std::string>& subdirs,
+                                      const Options& opts) {
   std::vector<std::string> files;
   for (const std::string& sub : subdirs) {
     const fs::path dir = fs::path(root) / sub;
     if (!fs::exists(dir)) {
       throw std::runtime_error("detlint: no such directory: " + dir.string());
     }
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path rel = fs::relative(it->path(), root);
+      if (it->is_directory() && path_excluded(rel, opts)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
       if (ext != ".cpp" && ext != ".cc" && ext != ".hpp" && ext != ".h") {
         continue;
       }
-      files.push_back(
-          fs::relative(entry.path(), root).generic_string());
+      if (path_excluded(rel, opts)) continue;
+      files.push_back(rel.generic_string());
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
 
+std::string read_file(const std::string& root, const std::string& rel) {
+  std::ifstream in(fs::path(root) / rel, std::ios::binary);
+  if (!in) throw std::runtime_error("detlint: cannot read " + rel);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<std::string>& subdirs,
+                               const Options& opts) {
   std::vector<Finding> findings;
-  for (const std::string& rel : files) {
-    std::ifstream in(fs::path(root) / rel, std::ios::binary);
-    if (!in) throw std::runtime_error("detlint: cannot read " + rel);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    std::vector<Finding> f = scan_source(rel, ss.str(), opts);
+  for (const std::string& rel : list_sources(root, subdirs, opts)) {
+    std::vector<Finding> f = scan_source(rel, read_file(root, rel), opts);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));
   }
+  return findings;
+}
+
+std::vector<Finding> scan_project(const std::string& root,
+                                  const std::vector<std::string>& subdirs,
+                                  const Options& opts) {
+  ProjectModel pm;
+  std::vector<Finding> findings;
+  for (const std::string& rel : list_sources(root, subdirs, opts)) {
+    const std::string text = read_file(root, rel);
+    std::vector<Finding> f = scan_source(rel, text, opts);
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+    pm.add(build_file_model(rel, text));
+  }
+  pm.finalize();
+  std::vector<Finding> v2 = run_project_passes(pm, opts);
+  findings.insert(findings.end(), std::make_move_iterator(v2.begin()),
+                  std::make_move_iterator(v2.end()));
   return findings;
 }
 
@@ -439,6 +426,166 @@ std::string to_json(const std::vector<Finding>& findings) {
     arr.push_back(std::move(row));
   }
   return json::Value(std::move(arr)).dump(2) + "\n";
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  json::Array rules;
+  for (const Rule r : all_rules()) {
+    json::Value rule{json::Object{}};
+    rule.set("id", rule_id(r));
+    json::Value desc{json::Object{}};
+    desc.set("text", rule_help(r));
+    rule.set("shortDescription", std::move(desc));
+    rules.push_back(std::move(rule));
+  }
+  json::Value driver{json::Object{}};
+  driver.set("name", "detlint");
+  driver.set("informationUri",
+             "tools/detlint — repo-specific determinism and hot-path lint");
+  driver.set("rules", json::Value(std::move(rules)));
+  json::Value tool{json::Object{}};
+  tool.set("driver", std::move(driver));
+
+  json::Array results;
+  for (const Finding& f : findings) {
+    json::Value result{json::Object{}};
+    result.set("ruleId", rule_id(f.rule));
+    result.set("level",
+               (f.rule == Rule::kLockOrderCycle || f.rule == Rule::kAccounting)
+                   ? "error"
+                   : "warning");
+    json::Value message{json::Object{}};
+    message.set("text", f.message);
+    result.set("message", std::move(message));
+    json::Value artifact{json::Object{}};
+    artifact.set("uri", f.file);
+    json::Value region{json::Object{}};
+    region.set("startLine", static_cast<std::int64_t>(f.line));
+    json::Value physical{json::Object{}};
+    physical.set("artifactLocation", std::move(artifact));
+    physical.set("region", std::move(region));
+    json::Value location{json::Object{}};
+    location.set("physicalLocation", std::move(physical));
+    json::Array locations;
+    locations.push_back(std::move(location));
+    result.set("locations", json::Value(std::move(locations)));
+    results.push_back(std::move(result));
+  }
+
+  json::Value run{json::Object{}};
+  run.set("tool", std::move(tool));
+  run.set("results", json::Value(std::move(results)));
+  json::Array runs;
+  runs.push_back(std::move(run));
+  json::Value doc{json::Object{}};
+  doc.set("$schema",
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json");
+  doc.set("version", "2.1.0");
+  doc.set("runs", json::Value(std::move(runs)));
+  return doc.dump(2) + "\n";
+}
+
+bool rule_is_fixable(Rule r) { return r != Rule::kLockOrderCycle; }
+
+namespace {
+
+/// Appends `rule` to the line's trailing `// detlint:allow(...)` list, or
+/// starts one. No-op if the list already carries the rule.
+std::string with_suppression(const std::string& line, const std::string& rule) {
+  static const std::string kMarker = "detlint:allow(";
+  const std::size_t at = line.find(kMarker);
+  if (at == std::string::npos) {
+    return line + "  // detlint:allow(" + rule + ", TODO: justify)";
+  }
+  const std::size_t open = at + kMarker.size();
+  const std::size_t close = line.find(')', open);
+  const std::string args = close == std::string::npos
+                               ? ""
+                               : line.substr(open, close - open);
+  std::stringstream ss(args);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (trim(tok) == rule) return line;  // already suppressed
+  }
+  return line.substr(0, open) + rule + ", " + line.substr(open);
+}
+
+}  // namespace
+
+int apply_fixes(const std::string& root,
+                const std::vector<Finding>& findings,
+                std::vector<std::string>* fixed_files) {
+  // Per file: line -> rules to suppress, plus pending pragma-once inserts.
+  std::map<std::string, std::map<int, std::set<std::string>>> suppress;
+  std::set<std::string> need_pragma;
+  for (const Finding& f : findings) {
+    if (!rule_is_fixable(f.rule)) continue;
+    if (f.rule == Rule::kPragmaOnce) {
+      need_pragma.insert(f.file);
+    } else {
+      suppress[f.file][f.line].insert(rule_id(f.rule));
+    }
+  }
+  std::set<std::string> touched;
+  for (const Finding& f : findings) {
+    if (rule_is_fixable(f.rule)) touched.insert(f.file);
+  }
+
+  int edits = 0;
+  for (const std::string& rel : touched) {
+    const std::string text = read_file(root, rel);
+    std::vector<std::string> lines;
+    {
+      std::string cur;
+      for (const char c : text) {
+        if (c == '\n') {
+          lines.push_back(cur);
+          cur.clear();
+        } else if (c != '\r') {
+          cur.push_back(c);
+        }
+      }
+      if (!cur.empty()) lines.push_back(cur);
+    }
+    const auto per_line = suppress.find(rel);
+    if (per_line != suppress.end()) {
+      for (const auto& [line, rules] : per_line->second) {
+        const std::size_t idx = static_cast<std::size_t>(line - 1);
+        if (idx >= lines.size()) continue;
+        for (const std::string& rule : rules) {
+          const std::string fixed = with_suppression(lines[idx], rule);
+          if (fixed != lines[idx]) {
+            lines[idx] = fixed;
+            ++edits;
+          }
+        }
+      }
+    }
+    if (need_pragma.count(rel) != 0) {
+      // Insert after the leading comment block. Applied last so the
+      // line-anchored suppressions above used original numbering.
+      std::size_t at = 0;
+      while (at < lines.size()) {
+        const std::string t = trim(lines[at]);
+        if (t.empty() || t.compare(0, 2, "//") == 0) {
+          ++at;
+        } else {
+          break;
+        }
+      }
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                   "#pragma once");
+      ++edits;
+    }
+    std::ofstream out(fs::path(root) / rel,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("detlint: cannot write " + rel);
+    for (const std::string& line : lines) out << line << "\n";
+    if (fixed_files) fixed_files->push_back(rel);
+  }
+  if (fixed_files) std::sort(fixed_files->begin(), fixed_files->end());
+  return edits;
 }
 
 std::optional<std::vector<Finding>> apply_baseline(

@@ -47,6 +47,14 @@ enum class Rule {
   kFloatAccum,
   kRawMutex,
   kPragmaOnce,
+  // v2 cross-TU passes (see passes.hpp).
+  kLockOrderCycle,
+  kLockInHot,
+  kAllocInHot,
+  kThrowInHot,
+  kVirtualInHot,
+  kIoInHot,
+  kAccounting,
 };
 
 /// Stable rule identifier used in reports, suppressions, and baselines.
@@ -77,6 +85,11 @@ struct Options {
   /// Path fragments exempt from raw-mutex (the annotated wrappers
   /// themselves live here and must wrap the std types).
   std::vector<std::string> raw_mutex_exempt = {"src/util/"};
+  /// Directory names pruned from tree scans, matched against each path
+  /// component; a trailing '*' makes the match a prefix ("build*" prunes
+  /// build, build-asan, build.release). Keeps stale build trees and VCS
+  /// metadata under --root from being linted.
+  std::vector<std::string> exclude_dirs = {"build*", ".git"};
 };
 
 /// Scans one translation unit. `rel_path` (relative to the scan root)
@@ -93,8 +106,36 @@ std::vector<Finding> scan_tree(const std::string& root,
                                const std::vector<std::string>& subdirs,
                                const Options& opts = Options());
 
+/// Two-phase project scan: runs the v1 per-file rules on every file AND
+/// the v2 cross-TU passes (lock-order, hot-path purity, accounting — see
+/// passes.hpp) over the merged project model. This is what the CLI runs;
+/// scan_tree stays v1-only for callers that want the lexical layer alone.
+std::vector<Finding> scan_project(const std::string& root,
+                                  const std::vector<std::string>& subdirs,
+                                  const Options& opts = Options());
+
 /// Machine-readable findings report (JSON array, stable field order).
 std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 report (one run, one result per finding) for code-scanning
+/// upload. Stable field order; level "error" for lock-order-cycle and
+/// accounting, "warning" otherwise.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// True when `--fix` can mechanically silence this rule with a single-line
+/// edit (a trailing `// detlint:allow(...)` or a `#pragma once` insert).
+/// Cross-TU graph findings (lock-order-cycle) are never auto-fixed.
+bool rule_is_fixable(Rule r);
+
+/// Applies mechanical fixes for `findings` to the files under `root`:
+/// pragma-once inserts `#pragma once` after the leading comment block; all
+/// other fixable rules append `// detlint:allow(<rule>, TODO: justify)` to
+/// the offending line (merging into an existing allow list). Returns the
+/// number of edits; fills `fixed_files` (sorted, unique) when non-null.
+/// Idempotent: re-linting after a fix pass yields no fixable findings.
+int apply_fixes(const std::string& root,
+                const std::vector<Finding>& findings,
+                std::vector<std::string>* fixed_files = nullptr);
 
 /// Removes findings recorded in `baseline_json` (the ratchet: CI fails
 /// only on findings NOT in the checked-in baseline). A baseline entry

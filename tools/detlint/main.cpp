@@ -2,10 +2,16 @@
 //
 //   detlint --root <dir> [options] <subdir>...
 //     --json FILE            write machine-readable findings (JSON array)
+//     --sarif FILE           write a SARIF 2.1.0 report (code scanning)
 //     --baseline FILE        ignore findings recorded in FILE (the ratchet)
 //     --write-baseline FILE  snapshot current findings as a baseline, exit 0
+//     --fix                  apply mechanical fixes (allow-suppressions,
+//                            pragma-once inserts) for the findings, exit 0
 //     --list-rules           print rule ids and exit
 //     --quiet                suppress the per-finding text report
+//
+// Runs the two-phase project scan (v1 lexical rules + v2 cross-TU passes:
+// lock-order, hot-path purity, accounting — see passes.hpp).
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -19,9 +25,9 @@ namespace {
 
 int usage(const char* msg) {
   if (msg != nullptr) std::cerr << "detlint: " << msg << "\n";
-  std::cerr << "usage: detlint --root <dir> [--json FILE] [--baseline FILE]\n"
-               "               [--write-baseline FILE] [--list-rules]\n"
-               "               [--quiet] <subdir>...\n";
+  std::cerr << "usage: detlint --root <dir> [--json FILE] [--sarif FILE]\n"
+               "               [--baseline FILE] [--write-baseline FILE]\n"
+               "               [--fix] [--list-rules] [--quiet] <subdir>...\n";
   return 2;
 }
 
@@ -44,8 +50,10 @@ bool write_file(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   std::string root;
   std::string json_out;
+  std::string sarif_out;
   std::string baseline_path;
   std::string write_baseline_path;
+  bool fix = false;
   bool quiet = false;
   std::vector<std::string> subdirs;
 
@@ -66,6 +74,12 @@ int main(int argc, char** argv) {
       const char* v = next("--json");
       if (v == nullptr) return 2;
       json_out = v;
+    } else if (arg == "--sarif") {
+      const char* v = next("--sarif");
+      if (v == nullptr) return 2;
+      sarif_out = v;
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--baseline") {
       const char* v = next("--baseline");
       if (v == nullptr) return 2;
@@ -93,7 +107,7 @@ int main(int argc, char** argv) {
 
   std::vector<cdn::detlint::Finding> findings;
   try {
-    findings = cdn::detlint::scan_tree(root, subdirs);
+    findings = cdn::detlint::scan_project(root, subdirs);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
@@ -137,6 +151,34 @@ int main(int argc, char** argv) {
       !write_file(json_out, cdn::detlint::to_json(findings))) {
     std::cerr << "detlint: cannot write " << json_out << "\n";
     return 2;
+  }
+  if (!sarif_out.empty() &&
+      !write_file(sarif_out, cdn::detlint::to_sarif(findings))) {
+    std::cerr << "detlint: cannot write " << sarif_out << "\n";
+    return 2;
+  }
+
+  if (fix) {
+    std::vector<std::string> fixed;
+    int edits = 0;
+    try {
+      edits = cdn::detlint::apply_fixes(root, findings, &fixed);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "detlint: applied " << edits << " fix(es) across "
+              << fixed.size() << " file(s)\n";
+    for (const std::string& f : fixed) std::cout << "  fixed " << f << "\n";
+    int skipped = 0;
+    for (const auto& f : findings) {
+      if (!cdn::detlint::rule_is_fixable(f.rule)) ++skipped;
+    }
+    if (skipped != 0) {
+      std::cout << "detlint: " << skipped
+                << " finding(s) need a real fix (not auto-fixable)\n";
+    }
+    return 0;
   }
 
   if (!quiet) {

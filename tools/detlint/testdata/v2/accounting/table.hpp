@@ -1,0 +1,39 @@
+// Fixture: three accounting shapes. TableBad's metadata_bytes() never
+// references w_, so the accounting contract fires on it. TableGood
+// references every accountable member. TableWaived omits one but carries
+// a reasoned suppression.
+#pragma once
+
+namespace cdn {
+
+class TableBad {
+ public:
+  std::uint64_t metadata_bytes() const { return v_.size() * 8; }
+
+ private:
+  std::vector<int> v_;
+  std::vector<int> w_;
+};
+
+class TableGood {
+ public:
+  std::uint64_t metadata_bytes() const {
+    return v_.size() * 8 + w_.size() * 8;
+  }
+
+ private:
+  std::vector<int> v_;
+  std::vector<int> w_;
+};
+
+class TableWaived {
+ public:
+  // detlint:allow(accounting, fixture: w_ rides in v_'s per-entry constant)
+  std::uint64_t metadata_bytes() const { return v_.size() * 16; }
+
+ private:
+  std::vector<int> v_;
+  std::vector<int> w_;
+};
+
+}  // namespace cdn

@@ -1,0 +1,4 @@
+// Fixture: a planted violation under a build/ directory. The default
+// exclude list must keep tree scans from ever reading this file; only a
+// scan with the excludes cleared may report the raw-rng finding below.
+int planted() { return std::rand(); }

@@ -1,0 +1,3 @@
+// Fixture: a clean file beside the excluded build/ directory, so a scan
+// of exclude_tree visits at least one file either way.
+int visible() { return 42; }

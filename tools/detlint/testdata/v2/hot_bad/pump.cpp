@@ -1,0 +1,44 @@
+// Fixture: one violation per hot-purity rule family, each at a pinned
+// line. The CDN_HOT markers sit on the declarations in pump.hpp only.
+#include "pump.hpp"
+
+namespace cdn {
+
+void PumpBad::drain(int n) {
+  for (int i = 0; i < n; ++i) {
+    sink_->put(i);
+  }
+}
+
+int PumpBad::peek() {
+  MutexLock lk(mu_);
+  return last_;
+}
+
+int free_helper();
+
+// detlint:hot-begin
+int hot_region(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    int* p = new int(i);
+    acc += *p;
+    delete p;
+  }
+  if (acc < 0) throw acc;
+  std::printf("%d\n", acc);
+  return acc;
+}
+// detlint:hot-end
+
+int cold_region(int n) {
+  // Identical body outside any hot region: none of this may fire.
+  int* p = new int(n);
+  const int acc = *p;
+  delete p;
+  if (acc < 0) throw acc;
+  std::printf("%d\n", acc);
+  return acc;
+}
+
+}  // namespace cdn

@@ -1,0 +1,24 @@
+// Fixture: CDN_HOT on a declaration must transfer to the out-of-line
+// definition in pump.cpp, where the purity violations live.
+#pragma once
+
+namespace cdn {
+
+class SinkBad {
+ public:
+  virtual ~SinkBad() = default;
+  virtual void put(int v) = 0;
+};
+
+class PumpBad {
+ public:
+  CDN_HOT void drain(int n);
+  CDN_HOT int peek();
+
+ private:
+  std::unique_ptr<SinkBad> sink_;
+  Mutex mu_;
+  int last_ = 0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,19 @@
+// Fixture: hot growth on a reserved member is exempt; the virtual call
+// carries a reasoned suppression. Scans clean under every pass.
+#include "buf.hpp"
+
+namespace cdn {
+
+void BufGood::setup(int n) {
+  v_.reserve(n);
+}
+
+void BufGood::fill(int n) {
+  for (int i = 0; i < n; ++i) {
+    v_.push_back(i);
+    // detlint:allow(virtual-in-hot, fixture: dispatch cost measured and accepted)
+    sink_->put(i);
+  }
+}
+
+}  // namespace cdn

@@ -1,0 +1,24 @@
+// Fixture: the passing counterpart of hot_bad — hot code whose container
+// growth is exempt because the class .reserve()s the member, plus a
+// reasoned suppression for a deliberate virtual dispatch.
+#pragma once
+
+namespace cdn {
+
+class SinkGood {
+ public:
+  virtual ~SinkGood() = default;
+  virtual void put(int v) = 0;
+};
+
+class BufGood {
+ public:
+  void setup(int n);
+  CDN_HOT void fill(int n);
+
+ private:
+  std::vector<int> v_;
+  std::unique_ptr<SinkGood> sink_;
+};
+
+}  // namespace cdn

@@ -1,0 +1,12 @@
+// Fixture: acquires left_ before right_ (the other TU does the reverse).
+#include "pair.hpp"
+
+namespace cdn {
+
+void PairBad::left_then_right() {
+  MutexLock a(left_);
+  MutexLock b(right_);
+  ++value_;
+}
+
+}  // namespace cdn

@@ -1,0 +1,19 @@
+// Fixture: two mutexes acquired in opposite orders by two TUs. The class
+// lives here; each ordering lives in its own .cpp so the cycle is only
+// visible to the cross-TU lock-order pass, never to a per-file scan.
+#pragma once
+
+namespace cdn {
+
+class PairBad {
+ public:
+  void left_then_right();
+  void right_then_left();
+
+ private:
+  Mutex left_;
+  Mutex right_;
+  int value_ = 0;
+};
+
+}  // namespace cdn

@@ -1,0 +1,12 @@
+// Fixture: acquires right_ before left_ (the other TU does the reverse).
+#include "pair.hpp"
+
+namespace cdn {
+
+void PairBad::right_then_left() {
+  MutexLock a(right_);
+  MutexLock b(left_);
+  --value_;
+}
+
+}  // namespace cdn

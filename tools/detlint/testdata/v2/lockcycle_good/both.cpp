@@ -1,0 +1,18 @@
+// Fixture: both paths honor the left_-before-right_ order; no cycle.
+#include "pair.hpp"
+
+namespace cdn {
+
+void PairGood::increment() {
+  MutexLock a(left_);
+  MutexLock b(right_);
+  ++value_;
+}
+
+void PairGood::decrement() {
+  MutexLock a(left_);
+  MutexLock b(right_);
+  --value_;
+}
+
+}  // namespace cdn

@@ -1,0 +1,18 @@
+// Fixture: the passing counterpart of lockcycle_bad — both TUs acquire
+// the two mutexes in the same order, so the acquisition graph is acyclic.
+#pragma once
+
+namespace cdn {
+
+class PairGood {
+ public:
+  void increment();
+  void decrement();
+
+ private:
+  Mutex left_;
+  Mutex right_;
+  int value_ = 0;
+};
+
+}  // namespace cdn

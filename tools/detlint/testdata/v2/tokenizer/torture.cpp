@@ -1,0 +1,36 @@
+// Fixture: tokenizer differential torture. Every banned token below sits
+// inside a raw string, a continued line comment, or a block comment — the
+// scan must report ZERO findings for this file under every rule, v1 and
+// v2 alike.
+namespace cdn {
+
+// A raw string whose payload is wall-to-wall violations.
+const char* kPayload = R"(std::mutex m; new int[8]; std::rand(); time(nullptr);)";
+
+// Custom delimiter, spanning lines, holding more violations plus a fake
+// closer `)"` that a naive scanner would treat as the end of the string.
+const char* kMultiline = R"delim(
+std::mt19937 rng(42);
+auto t = std::chrono::system_clock::now();  )"
+std::srand(7);
+)delim";
+
+// Encoding prefixes still introduce raw strings.
+const char* kPrefixed = u8R"(std::timed_mutex tm; srand(1);)";
+
+// A line comment continued by a trailing backslash: std::mutex mu; \
+   std::rand(); new char[16]; time(nullptr); more of the same comment
+
+/* Block comment with violations: std::recursive_mutex rm;
+   new double[4]; std::random_device rd; clock(); */
+
+// Digit separators must not confuse the scanner into resyncing mid-token.
+constexpr long kBig = 1'000'000'000L;
+
+// An ordinary string with an escaped quote, then real code after it — the
+// scanner must still be in code mode here (this function must be seen).
+const char* kEscaped = "not a raw string: \" std::mutex inside quotes ";
+
+int touch() { return static_cast<int>(kBig); }
+
+}  // namespace cdn
