@@ -1,0 +1,345 @@
+// Cluster-scale sweep: byte miss ratio and back-to-origin (BTO) bandwidth
+// of the consistent-hash cluster at 1/2/4/8 nodes, with and without
+// cooperative hot-key replication, under three scenarios:
+//
+//   * baseline     — the unstressed CDN-T-like trace;
+//   * flash        — the flash-crowd stressor scenario (a handful of
+//                    objects absorb half the request stream for a while);
+//   * flash-churn  — the flash trace plus deterministic membership churn
+//                    (a node joins at 40% of the trace and node 0 leaves
+//                    at 70%, exercising warm-transfer rebalancing mid-run).
+//
+// Spreading hot keys over k owners happens in BOTH replication arms (a
+// flash crowd must be load-spread either way); the arms differ only in
+// cooperative peer fill, so their hit/miss sequences are identical and the
+// origin-byte comparison isolates exactly the replication effect.
+//
+// Gates enforced before the report is written (exit 1 on violation):
+//   * bitwise rerun determinism — every configuration runs twice and must
+//     be deterministic_equal in both SimResult (window series included)
+//     and ClusterTotals;
+//   * single-node anchor — the 1-node cluster must reproduce the bare
+//     unsharded SCIP cache exactly (requests/hits/bytes/warm counters and
+//     the full window-miss-ratio series) on the churn-free scenarios;
+//   * replication BTO gate — under flash at >= 4 nodes, enabling peer
+//     fill must strictly reduce origin bytes;
+//   * the emitted document must pass obs::validate_bench_report.
+//
+// Output: BENCH_cluster.json (schema "cdn-bench-report") under
+// $CDN_BENCH_JSON_DIR (default "."), one row per configuration.
+// Exit codes: 0 ok, 1 gate or validation failure, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_cache.hpp"
+#include "core/registry.hpp"
+#include "obs/bench_report.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stressors/scenarios.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cdn::cluster {
+namespace {
+
+constexpr const char* kPolicy = "SCIP";
+constexpr std::size_t kNodeCounts[] = {1, 2, 4, 8};
+
+/// Cache size as a fraction of each scenario's working set — the same
+/// "128 GB of CDN-T" operating point bench_stress pins (11.7%), here the
+/// TOTAL across all nodes, so adding nodes splits a fixed byte budget.
+constexpr double kCapacityFrac = 0.117;
+
+/// Hot-key detector operating point. At smoke scale the flash scenario's
+/// crowd objects see hundreds of requests per window, so a threshold of 32
+/// in a 4096-request window classifies the crowd and nothing else.
+constexpr std::uint32_t kHotThreshold = 32;
+constexpr std::uint64_t kHotWindow = 4096;
+constexpr std::uint64_t kSeed = 1;
+
+struct Scenario {
+  std::string name;
+  Trace trace;
+  bool churn = false;  ///< has a membership schedule (no 1-node anchor)
+};
+
+struct RunOut {
+  SimResult sim;
+  ClusterTotals totals;
+};
+
+std::vector<MembershipEvent> churn_schedule(std::size_t n_requests) {
+  const auto n = static_cast<std::uint64_t>(n_requests);
+  return {{n * 4 / 10, MembershipEvent::Kind::kJoin, 0},
+          {n * 7 / 10, MembershipEvent::Kind::kLeave, 0}};
+}
+
+RunOut run_one(const Scenario& sc, std::uint64_t capacity, std::size_t nodes,
+               bool replicate) {
+  ClusterCacheConfig cfg;
+  cfg.policy = kPolicy;
+  cfg.capacity_bytes = capacity;
+  cfg.nodes = nodes;
+  cfg.replicas = 2;
+  cfg.replicate_hot = replicate;
+  cfg.hot_threshold = kHotThreshold;
+  cfg.hot_window = kHotWindow;
+  cfg.seed = kSeed;
+  if (sc.churn) cfg.schedule = churn_schedule(sc.trace.requests.size());
+  ClusterCache cluster(cfg);
+  SimOptions opts;
+  opts.window = 10'000;
+  opts.warmup_frac = 0.2;
+  RunOut out;
+  out.sim = simulate(cluster, sc.trace, opts);
+  out.totals = cluster.totals();
+  return out;
+}
+
+bool same_counters(const SimResult& a, const SimResult& b) {
+  return a.requests == b.requests && a.hits == b.hits &&
+         a.bytes_total == b.bytes_total && a.bytes_hit == b.bytes_hit &&
+         a.warm_requests == b.warm_requests && a.warm_hits == b.warm_hits &&
+         a.warm_bytes_total == b.warm_bytes_total &&
+         a.warm_bytes_hit == b.warm_bytes_hit &&
+         a.window_miss_ratios == b.window_miss_ratios;
+}
+
+struct Args {
+  bool smoke = false;
+  double scale = 0.25;      ///< base-trace request-count scale
+  std::size_t threads = 8;  ///< configurations simulated concurrently
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_cluster [--smoke] [--scale F] [--threads N]\n");
+  return 2;
+}
+
+int run(const Args& args) {
+  obs::BenchReport report("cluster");
+
+  // --- Scenario traces (flash-churn replays the flash trace under a
+  // membership schedule; renamed so report rows stay distinguishable).
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"baseline",
+       stress::make_stressed_trace(stress::make_stress_scenario("baseline",
+                                                                args.scale)),
+       false});
+  scenarios.push_back(
+      {"flash",
+       stress::make_stressed_trace(stress::make_stress_scenario("flash",
+                                                                args.scale)),
+       false});
+  scenarios.push_back({"flash-churn", scenarios.back().trace, true});
+  scenarios.back().trace.name = "flash-churn";
+
+  std::vector<std::uint64_t> capacities;
+  for (const Scenario& sc : scenarios) {
+    capacities.push_back(static_cast<std::uint64_t>(
+        kCapacityFrac * static_cast<double>(sc.trace.working_set_bytes())));
+  }
+
+  struct Config {
+    std::size_t scenario;
+    std::size_t nodes;
+    bool replicate;
+  };
+  std::vector<Config> grid;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (const std::size_t nodes : kNodeCounts) {
+      for (const bool replicate : {false, true}) {
+        grid.push_back(Config{s, nodes, replicate});
+      }
+    }
+  }
+
+  std::printf("sweeping %zu scenarios x %zu node counts x 2 replication "
+              "arms, twice (scale %.3g, %zu threads)...\n",
+              scenarios.size(), std::size(kNodeCounts), args.scale,
+              args.threads);
+  std::fflush(stdout);
+
+  const auto sweep_once = [&] {
+    ThreadPool pool(args.threads);
+    std::vector<std::future<RunOut>> futures;
+    futures.reserve(grid.size());
+    for (const Config& c : grid) {
+      const Scenario* sc = &scenarios[c.scenario];
+      const std::uint64_t cap = capacities[c.scenario];
+      futures.push_back(pool.submit([sc, cap, c] {
+        return run_one(*sc, cap, c.nodes, c.replicate);
+      }));
+    }
+    std::vector<RunOut> outs;
+    outs.reserve(futures.size());
+    for (auto& f : futures) outs.push_back(f.get());
+    return outs;
+  };
+
+  // --- Determinism gate: the entire sweep, twice, bitwise. ----------------
+  const std::vector<RunOut> results = sweep_once();
+  const std::vector<RunOut> rerun = sweep_once();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!deterministic_equal(results[i].sim, rerun[i].sim) ||
+        results[i].sim.window_miss_ratios != rerun[i].sim.window_miss_ratios ||
+        !deterministic_equal(results[i].totals, rerun[i].totals)) {
+      std::fprintf(stderr,
+                   "FAIL: rerun of config %zu (%s, %zu nodes, replication "
+                   "%s) is not bitwise identical\n",
+                   i, scenarios[grid[i].scenario].name.c_str(), grid[i].nodes,
+                   grid[i].replicate ? "on" : "off");
+      return 1;
+    }
+  }
+
+  const auto result_at = [&](std::size_t scenario, std::size_t nodes,
+                             bool replicate) -> const RunOut& {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].scenario == scenario && grid[i].nodes == nodes &&
+          grid[i].replicate == replicate) {
+        return results[i];
+      }
+    }
+    std::abort();  // unreachable: the grid enumerates every combination
+  };
+
+  // --- Single-node anchor: cluster(1 node) == bare SCIP, both arms. ------
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    if (scenarios[s].churn) continue;
+    const CachePtr plain = make_cache(kPolicy, capacities[s], kSeed);
+    SimOptions opts;
+    opts.window = 10'000;
+    opts.warmup_frac = 0.2;
+    const SimResult plain_res = simulate(*plain, scenarios[s].trace, opts);
+    for (const bool replicate : {false, true}) {
+      const RunOut& one = result_at(s, 1, replicate);
+      if (!same_counters(one.sim, plain_res)) {
+        std::fprintf(stderr,
+                     "FAIL: 1-node cluster diverges from unsharded %s under "
+                     "'%s' (replication %s)\n",
+                     kPolicy, scenarios[s].name.c_str(),
+                     replicate ? "on" : "off");
+        return 1;
+      }
+    }
+  }
+
+  // --- Replication BTO gate + report rows + summary table. ----------------
+  Table table({"scenario", "nodes", "byte miss", "origin GB off",
+               "origin GB on", "peer fills on"});
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (const std::size_t nodes : kNodeCounts) {
+      const RunOut& off = result_at(s, nodes, false);
+      const RunOut& on = result_at(s, nodes, true);
+      table.add_row({scenarios[s].name, std::to_string(nodes),
+                     Table::pct(on.sim.byte_miss_ratio()),
+                     Table::fmt(static_cast<double>(off.totals.origin_bytes) /
+                                1e9),
+                     Table::fmt(static_cast<double>(on.totals.origin_bytes) /
+                                1e9),
+                     std::to_string(on.totals.peer_fills)});
+      for (const bool replicate : {false, true}) {
+        const RunOut& r = result_at(s, nodes, replicate);
+        obs::json::Value row = sim_result_row(r.sim);
+        row.set("scenario", scenarios[s].name);
+        row.set("nodes", static_cast<std::uint64_t>(nodes));
+        row.set("replication", static_cast<std::uint64_t>(replicate ? 1 : 0));
+        row.set("capacity_bytes", capacities[s]);
+        row.set("scale", args.scale);
+        row.set("origin_fetches", r.totals.origin_fetches);
+        row.set("origin_bytes", r.totals.origin_bytes);
+        row.set("peer_fills", r.totals.peer_fills);
+        row.set("peer_fill_bytes", r.totals.peer_fill_bytes);
+        row.set("hot_spread_requests", r.totals.hot_spread_requests);
+        row.set("migrated_keys", r.totals.migrated_keys);
+        row.set("migrated_bytes", r.totals.migrated_bytes);
+        row.set("bto_bytes_per_request",
+                r.totals.requests
+                    ? static_cast<double>(r.totals.origin_bytes) /
+                          static_cast<double>(r.totals.requests)
+                    : 0.0);
+        report.add_row(std::move(row));
+      }
+    }
+  }
+  std::printf("\n== Cluster sweep (%s, cap %.1f%% WSS total) ==\n%s",
+              kPolicy, 100.0 * kCapacityFrac, table.str().c_str());
+
+  bool bto_ok = true;
+  const std::size_t flash_idx = 1;
+  for (const std::size_t nodes : kNodeCounts) {
+    if (nodes < 4) continue;
+    const std::uint64_t off =
+        result_at(flash_idx, nodes, false).totals.origin_bytes;
+    const std::uint64_t on =
+        result_at(flash_idx, nodes, true).totals.origin_bytes;
+    if (on >= off) {
+      std::fprintf(stderr,
+                   "FAIL: hot-key replication does not reduce origin bytes "
+                   "under flash at %zu nodes (on %llu >= off %llu)\n",
+                   nodes, static_cast<unsigned long long>(on),
+                   static_cast<unsigned long long>(off));
+      bto_ok = false;
+    }
+  }
+  if (!bto_ok) return 1;
+
+  // --- Validate + write. --------------------------------------------------
+  const std::string violation = obs::validate_bench_report(report.document());
+  if (!violation.empty()) {
+    std::fprintf(stderr, "FAIL: BENCH_cluster.json schema: %s\n",
+                 violation.c_str());
+    return 1;
+  }
+  const char* dir = std::getenv("CDN_BENCH_JSON_DIR");
+  if (!report.write(dir ? dir : ".")) {
+    std::fprintf(stderr, "FAIL: could not write %s\n",
+                 report.file_name().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu rows, schema valid, rerun-deterministic, "
+              "1-node anchor exact, replication reduces flash BTO at >=4 "
+              "nodes)\n",
+              report.file_name().c_str(), report.rows());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cdn::cluster
+
+int main(int argc, char** argv) {
+  cdn::cluster::Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return cdn::cluster::usage();
+      args.scale = std::atof(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return cdn::cluster::usage();
+      args.threads = static_cast<std::size_t>(std::atoi(v));
+    } else {
+      return cdn::cluster::usage();
+    }
+  }
+  if (args.smoke) {
+    // CI-sized: ~50k requests per scenario, the full gate set still runs.
+    args.scale = 0.05;
+  }
+  if (args.scale <= 0.0 || args.threads == 0) {
+    return cdn::cluster::usage();
+  }
+  return cdn::cluster::run(args);
+}

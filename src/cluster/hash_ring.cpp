@@ -1,0 +1,94 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "cluster/routing.hpp"
+
+namespace cdn::cluster {
+
+HashRing::HashRing(std::size_t vnodes_per_node) : vnodes_(vnodes_per_node) {
+  if (vnodes_ == 0) {
+    throw std::invalid_argument("HashRing: vnodes_per_node must be >= 1");
+  }
+}
+
+bool HashRing::contains_node(std::uint32_t node) const noexcept {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+void HashRing::add_node(std::uint32_t node) {
+  if (contains_node(node)) {
+    throw std::invalid_argument("HashRing: node already present");
+  }
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node), node);
+  ring_.reserve(ring_.size() + vnodes_);
+  for (std::size_t r = 0; r < vnodes_; ++r) {
+    ring_.push_back(
+        Point{vnode_point(node, static_cast<std::uint32_t>(r)), node});
+  }
+  // Full re-sort instead of per-point insertion: membership changes are
+  // rare control-plane events, and one O(P log P) sort keeps the code
+  // obviously deterministic. Ties on `point` (a 64-bit hash collision
+  // between virtual nodes — astronomically unlikely but possible) break
+  // by node id so the sorted order never depends on insertion history.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.point != b.point ? a.point < b.point : a.node < b.node;
+  });
+}
+
+void HashRing::remove_node(std::uint32_t node) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) {
+    throw std::invalid_argument("HashRing: node not present");
+  }
+  nodes_.erase(it);
+  ring_.erase(std::remove_if(
+                  ring_.begin(), ring_.end(),
+                  [node](const Point& p) { return p.node == node; }),
+              ring_.end());
+}
+
+std::size_t HashRing::successor_index(std::uint64_t h) const {
+  assert(!ring_.empty());
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.point < key; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::uint32_t HashRing::owner_hashed(std::uint64_t h) const {
+  return ring_[successor_index(h)].node;
+}
+
+std::size_t HashRing::owners_hashed(std::uint64_t h, std::size_t k,
+                                    std::uint32_t* out) const {
+  const std::size_t want = std::min(k, nodes_.size());
+  if (want == 0) return 0;
+  std::size_t found = 0;
+  std::size_t i = successor_index(h);
+  // Walk clockwise; k is a small replication factor, so the distinctness
+  // check is a linear scan of the partial output.
+  for (std::size_t steps = 0; steps < ring_.size() && found < want; ++steps) {
+    const std::uint32_t node = ring_[i].node;
+    bool seen = false;
+    for (std::size_t j = 0; j < found; ++j) {
+      if (out[j] == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out[found++] = node;
+    if (++i == ring_.size()) i = 0;
+  }
+  assert(found == want);
+  return found;
+}
+
+std::uint64_t HashRing::metadata_bytes() const noexcept {
+  return static_cast<std::uint64_t>(ring_.capacity() * sizeof(Point) +
+                                    nodes_.capacity() * sizeof(std::uint32_t));
+}
+
+}  // namespace cdn::cluster

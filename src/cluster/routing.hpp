@@ -1,0 +1,94 @@
+// Shared placement primitives for every multi-node layer in the tree.
+//
+// Two placement families live here:
+//
+//  * Salted-mod placement (`route_mod`, `ChainLevel`, `ChainRouter`): the
+//    fixed OC→DC chain of the TDC reproduction (tdc/cluster.hpp). Each
+//    layer owns a salt so the two layers shard independently; the
+//    arithmetic — hash64(id ^ salt) % nodes — is pinned by golden masters
+//    (bench_fig6) and by test_hash_ring, so it must never change. A
+//    ChainLevel is the degenerate ring: one equal segment per node, no
+//    virtual nodes, resize reshuffles everything.
+//
+//  * Ring placement (`vnode_point` + cluster/hash_ring.hpp): consistent
+//    hashing with virtual nodes for the elastic cluster, where membership
+//    changes must move only ring-adjacent key ranges. Keys map to the ring
+//    at the salt-free hash64(id) — the exact value the request path already
+//    computes once and threads through every probe (PR-6 discipline), so
+//    ring routing adds zero extra hashes per request.
+//
+// Everything here is a pure function of its arguments: no state, no RNG,
+// no wall clock — placement is bitwise-reproducible across runs, threads
+// and platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdn::cluster {
+
+/// Salted modulo placement: hash64(id ^ salt) % nodes. The TDC chain's
+/// per-layer routing function, bit-for-bit (salts 0x0c and 0xdc).
+[[nodiscard]] inline std::size_t route_mod(std::uint64_t id,
+                                           std::uint64_t salt,
+                                           std::size_t nodes) noexcept {
+  return static_cast<std::size_t>(hash64(id ^ salt) % nodes);
+}
+
+/// Ring point of virtual node `replica` of physical node `node`. Node ids
+/// and replica indices are small integers, so they are packed into one
+/// 64-bit word and pushed through hash64 to spread the points uniformly
+/// over the ring. Key points use plain hash64(id) (no packing, no salt);
+/// the id spaces cannot systematically collide because trace ids are
+/// themselves hash-spread (request.hpp: ids are URL hashes).
+[[nodiscard]] inline std::uint64_t vnode_point(std::uint32_t node,
+                                               std::uint32_t replica) noexcept {
+  return hash64((static_cast<std::uint64_t>(node) << 32) |
+                static_cast<std::uint64_t>(replica));
+}
+
+/// One layer of a fixed multi-layer chain: `nodes` caches sharded by
+/// salted-mod placement.
+struct ChainLevel {
+  std::uint64_t salt = 0;
+  std::size_t nodes = 1;
+
+  [[nodiscard]] std::size_t route(std::uint64_t id) const noexcept {
+    return route_mod(id, salt, nodes);
+  }
+};
+
+/// A fixed chain expressed as a stack of ChainLevels — the 2-level config
+/// the TDC OC→DC topology routes through. Construction validates that
+/// every level has at least one node; routing is then branch-free.
+class ChainRouter {
+ public:
+  explicit ChainRouter(std::vector<ChainLevel> levels)
+      : levels_(std::move(levels)) {
+    for (const ChainLevel& l : levels_) {
+      if (l.nodes == 0) {
+        throw std::invalid_argument(
+            "ChainRouter: every level needs at least one node");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_.size(); }
+  [[nodiscard]] const ChainLevel& level(std::size_t i) const {
+    return levels_[i];
+  }
+
+  /// Node index of `id` at chain level `i`.
+  [[nodiscard]] std::size_t route(std::size_t i, std::uint64_t id) const {
+    return levels_[i].route(id);
+  }
+
+ private:
+  std::vector<ChainLevel> levels_;
+};
+
+}  // namespace cdn::cluster

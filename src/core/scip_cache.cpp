@@ -50,9 +50,9 @@ void AdvisedLruCache::on_evict_hashed(const LruQueue::Node& victim,
 }
 
 template <typename A>
-bool AdvisedLruCache::access_impl(const Request& req, A& adv) {
+bool AdvisedLruCache::access_impl(const Request& req, std::uint64_t h,
+                                  A& adv) {
   ++tick_;
-  const std::uint64_t h = hash64(req.id);
   if (LruQueue::Node* node = q_.find_hashed(req.id, h)) {
     // PROMOTE = REMOVE + INSERT; the object is NOT written to any history
     // list (Algorithm 1, line 24). The REMOVE + INSERT pair executes as an
@@ -112,8 +112,12 @@ bool AdvisedLruCache::access_impl(const Request& req, A& adv) {
 }
 
 bool AdvisedLruCache::access(const Request& req) {
-  return fast_ != nullptr ? access_impl(req, *fast_)
-                          : access_impl(req, *advisor_);
+  return access_hashed(req, hash64(req.id));
+}
+
+bool AdvisedLruCache::access_hashed(const Request& req, std::uint64_t h) {
+  return fast_ != nullptr ? access_impl(req, h, *fast_)
+                          : access_impl(req, h, *advisor_);
 }
 
 // detlint:allow(accounting, fast_ is a non-owning cached downcast of advisor_, whose bytes are charged)

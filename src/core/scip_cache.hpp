@@ -28,6 +28,7 @@ class AdvisedLruCache final : public QueueCache, public obs::Introspectable {
 
   [[nodiscard]] std::string name() const override;
   bool access(const Request& req) override;
+  bool access_hashed(const Request& req, std::uint64_t h) override;
   [[nodiscard]] std::uint64_t metadata_bytes() const override;
 
   /// Exports queue occupancy ("cache.objects"/"cache.used_bytes") and
@@ -51,8 +52,10 @@ class AdvisedLruCache final : public QueueCache, public obs::Introspectable {
   // inlines the whole SCIP event path into the host's request loop, which
   // removes four to five indirect calls per request on the policy this
   // repo exists to measure. Identical source, so behavior cannot diverge.
+  // `h` is hash64(req.id), computed by access() or handed down by a
+  // multi-node layer that already hashed the id for routing.
   template <typename A>
-  bool access_impl(const Request& req, A& adv);
+  bool access_impl(const Request& req, std::uint64_t h, A& adv);
 
   std::shared_ptr<InsertionAdvisor> advisor_;
   ScipAdvisor* fast_ = nullptr;  ///< set when the advisor is a ScipAdvisor

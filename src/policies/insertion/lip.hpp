@@ -15,6 +15,7 @@ class LipCache final : public QueueCache {
 
   [[nodiscard]] std::string name() const override { return "LIP"; }
   bool access(const Request& req) override;
+  bool access_hashed(const Request& req, std::uint64_t h) override;
 };
 
 }  // namespace cdn

@@ -3,8 +3,11 @@
 namespace cdn {
 
 bool LruCache::access(const Request& req) {
+  return access_hashed(req, hash64(req.id));
+}
+
+bool LruCache::access_hashed(const Request& req, std::uint64_t h) {
   ++tick_;
-  const std::uint64_t h = hash64(req.id);
   if (LruQueue::Node* node = q_.find_hashed(req.id, h)) {
     ++node->hits;
     node->last_tick = tick_;

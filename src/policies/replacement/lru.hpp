@@ -15,6 +15,7 @@ class LruCache final : public QueueCache {
   [[nodiscard]] std::string name() const override { return "LRU"; }
 
   bool access(const Request& req) override;
+  bool access_hashed(const Request& req, std::uint64_t h) override;
 };
 
 }  // namespace cdn

@@ -29,8 +29,24 @@ class Cache {
   /// whether/where to admit the object and evicts as needed.
   virtual bool access(const Request& req) = 0;
 
+  /// access() with the caller-precomputed hash64(req.id). Multi-node layers
+  /// (cluster routing, replication probes) hash each request id exactly
+  /// once and thread the hash through every hop; policies whose index is
+  /// keyed by hash64 override this to skip their own re-hash. MUST be
+  /// behaviorally identical to access(req) — the default just delegates.
+  virtual bool access_hashed(const Request& req, std::uint64_t /*h*/) {
+    return access(req);
+  }
+
   /// True if the object is currently resident.
   [[nodiscard]] virtual bool contains(std::uint64_t id) const = 0;
+
+  /// contains() with the caller-precomputed hash64(id) (same discipline as
+  /// access_hashed; read-only — never changes policy state).
+  [[nodiscard]] virtual bool contains_hashed(std::uint64_t id,
+                                             std::uint64_t /*h*/) const {
+    return contains(id);
+  }
 
   /// Advisory hint that `id` will be accessed shortly: policies may issue
   /// software prefetches for the index slots access(id) will probe. Purely

@@ -58,6 +58,10 @@ class LruQueue {
   [[nodiscard]] bool contains(std::uint64_t id) const {
     return index_.contains(id);
   }
+  /// contains() with the caller-precomputed hash64(id).
+  [[nodiscard]] bool contains_hashed(std::uint64_t id, std::uint64_t h) const {
+    return index_.find_hashed(id, h) != nullptr;
+  }
   /// Returns the node for `id` or nullptr. The pointer is invalidated by any
   /// mutation of the queue.
   [[nodiscard]] Node* find(std::uint64_t id);

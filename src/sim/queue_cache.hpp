@@ -17,6 +17,10 @@ class QueueCache : public Cache {
   [[nodiscard]] bool contains(std::uint64_t id) const override {
     return q_.contains(id);
   }
+  [[nodiscard]] bool contains_hashed(std::uint64_t id,
+                                     std::uint64_t h) const override {
+    return q_.contains_hashed(id, h);
+  }
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return q_.used_bytes();
   }

@@ -2,11 +2,12 @@
 
 #include <stdexcept>
 
-#include "util/rng.hpp"
-
 namespace cdn::tdc {
 
-Cluster::Cluster(const ClusterConfig& config) : latency_(config.latency) {
+Cluster::Cluster(const ClusterConfig& config)
+    : router_({cluster::ChainLevel{kOcRouteSalt, config.oc_nodes},
+               cluster::ChainLevel{kDcRouteSalt, config.dc_nodes}}),
+      latency_(config.latency) {
   if (!config.make_oc_cache || !config.make_dc_cache) {
     throw std::invalid_argument("Cluster: cache factories are required");
   }
@@ -32,11 +33,12 @@ std::size_t Cluster::route_oc(const Request& req) const {
   // node of the serving PoP so its cache footprint is not duplicated.
   // Object-sharded routing also preserves each node's view of the
   // workload's temporal structure (scan phases, pair-burst waves).
-  return static_cast<std::size_t>(hash64(req.id ^ 0x0c) % oc_.size());
+  // route_mod(id, kOcRouteSalt, n) == hash64(id ^ 0x0c) % n bit-for-bit.
+  return router_.route(0, req.id);
 }
 
 std::size_t Cluster::route_dc(std::uint64_t id) const {
-  return static_cast<std::size_t>(hash64(id ^ 0xdc) % dc_.size());
+  return router_.route(1, id);
 }
 
 }  // namespace cdn::tdc

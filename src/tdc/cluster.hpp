@@ -11,10 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "cluster/routing.hpp"
 #include "tdc/latency_model.hpp"
 #include "tdc/node.hpp"
 
 namespace cdn::tdc {
+
+/// Per-layer routing salts of the fixed OC->DC chain. The chain is a
+/// 2-level cluster::ChainRouter config over these salts; the salted-mod
+/// placement they select is pinned bitwise by golden masters (bench_fig6)
+/// and test_tdc, so the values can never change.
+inline constexpr std::uint64_t kOcRouteSalt = 0x0c;
+inline constexpr std::uint64_t kDcRouteSalt = 0xdc;
 
 struct ClusterConfig {
   std::size_t oc_nodes = 4;
@@ -47,6 +55,9 @@ class Cluster {
  private:
   std::vector<std::unique_ptr<Node>> oc_;
   std::vector<std::unique_ptr<Node>> dc_;
+  /// Level 0 = OC (salt kOcRouteSalt), level 1 = DC (salt kDcRouteSalt);
+  /// shared with the elastic cluster's ring layer via cluster/routing.hpp.
+  cluster::ChainRouter router_;
   LatencyModel latency_;
 };
 

@@ -6,6 +6,7 @@
 // so their locks serialize concurrent access to the same shard.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "sim/cache.hpp"
@@ -24,6 +25,32 @@ class Node {
   bool access(const Request& req) CDN_EXCLUDES(mu_) {
     MutexLock lk(mu_);
     return cache_->access(req);
+  }
+
+  /// access() with the caller-precomputed hash64(req.id) — the cluster
+  /// routing layer hashes once per request and threads the hash through
+  /// every node it touches.
+  bool access_hashed(const Request& req, std::uint64_t h)
+      CDN_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return cache_->access_hashed(req, h);
+  }
+
+  /// Read-only residency probe with the caller-precomputed hash64(id)
+  /// (replication peer probes). Never changes policy state.
+  [[nodiscard]] bool contains_hashed(std::uint64_t id, std::uint64_t h)
+      const CDN_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return cache_->contains_hashed(id, h);
+  }
+
+  /// Runs `fn` over the wrapped policy under this node's lock — the
+  /// control-plane escape hatch for warm-transfer migration and structural
+  /// audits (enumerating residents, Inspector checks). Never used on a
+  /// request path.
+  void with_cache(const std::function<void(Cache&)>& fn) CDN_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    fn(*cache_);
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
