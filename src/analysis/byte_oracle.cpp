@@ -1,0 +1,113 @@
+#include "analysis/byte_oracle.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "policies/replacement/belady.hpp"
+#include "trace/oracle.hpp"
+
+namespace cdn::analysis {
+
+std::uint64_t ByteOracleCache::weight(const Obj& o) const {
+  // Residents always have a real future access (never-again objects are
+  // dropped on sight), and every request to a resident refreshes `next`,
+  // so the distance is never negative. The product fits comfortably in 64
+  // bits: sizes are <= 2^32 and distances <= the trace length.
+  assert(o.next >= tick_);
+  return o.size * static_cast<std::uint64_t>(o.next - tick_);
+}
+
+bool ByteOracleCache::make_room(std::uint64_t size,
+                                std::uint64_t incoming_key) {
+  while (!order_.empty() && used_bytes_ + size > capacity_) {
+    // Lazy-refresh max selection (header comment): stored keys only decay,
+    // so refreshing stale tops until the top is current yields the exact
+    // maximum-weight resident.
+    auto top = std::prev(order_.end());
+    for (int round = 0; round < kMaxRefreshRounds; ++round) {
+      auto oit = objects_.find(top->second);
+      const std::uint64_t cur = weight(oit->second);
+      if (cur == top->first) break;
+      const std::uint64_t id = top->second;
+      order_.erase(top);
+      oit->second.key = cur;
+      order_.emplace(cur, id);
+      top = std::prev(order_.end());
+    }
+    if (top->first <= incoming_key) return false;  // bypass beats displacing
+    const std::uint64_t id = top->second;
+    order_.erase(top);
+    auto oit = objects_.find(id);
+    used_bytes_ -= oit->second.size;
+    objects_.erase(oit);
+  }
+  return true;
+}
+
+bool ByteOracleCache::access(const Request& req) {
+  if (req.next < 0) {
+    throw std::runtime_error(
+        "ByteOracleCache: trace not annotated; run annotate_next_access()");
+  }
+  ++tick_;
+  auto it = objects_.find(req.id);
+  if (it != objects_.end()) {
+    Obj& o = it->second;
+    order_.erase({o.key, req.id});
+    if (req.next == Request::kNoNext) {
+      // Hit served, but the object can never pay off again — free the
+      // bytes now instead of waiting for it to float to the eviction top.
+      used_bytes_ -= o.size;
+      objects_.erase(it);
+      return true;
+    }
+    o.next = req.next;
+    o.key = weight(o);
+    order_.emplace(o.key, req.id);
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  // Never-again objects cannot produce a hit; admitting them only displaces
+  // objects that could (the Belady bypass, by the byte-weight argument).
+  if (req.next == Request::kNoNext) return false;
+  Obj o;
+  o.size = req.size;
+  o.next = req.next;
+  o.key = weight(o);
+  if (!make_room(req.size, o.key)) return false;
+  objects_.emplace(req.id, o);
+  order_.emplace(o.key, req.id);
+  used_bytes_ += req.size;
+  return false;
+}
+
+bool ByteOracleCache::check_invariants() const {
+  if (order_.size() != objects_.size()) return false;
+  std::uint64_t bytes = 0;
+  for (const auto& [key, id] : order_) {
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) return false;
+    if (it->second.key != key) return false;
+    if (weight(it->second) > key) return false;  // keys are upper bounds
+    bytes += it->second.size;
+  }
+  return bytes == used_bytes_;
+}
+
+OracleBounds compute_oracle_bounds(const Trace& trace,
+                                   std::uint64_t capacity_bytes,
+                                   const SimOptions& opts) {
+  if (!annotation_current(trace)) {
+    throw std::invalid_argument(
+        "compute_oracle_bounds: trace annotation missing or stale; run "
+        "annotate_next_access() after the last id rewrite");
+  }
+  OracleBounds out;
+  BeladyCache belady(capacity_bytes);
+  out.object_belady = simulate(belady, trace, opts);
+  ByteOracleCache byte_oracle(capacity_bytes);
+  out.byte_oracle = simulate(byte_oracle, trace, opts);
+  return out;
+}
+
+}  // namespace cdn::analysis

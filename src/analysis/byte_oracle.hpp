@@ -1,0 +1,118 @@
+// Size-aware offline replacement bound (the byte-miss analogue of Belady).
+//
+// Belady's MIN minimizes *object* misses; with variable object sizes it can
+// be far from byte-optimal — a 1 MB object reused soon still costs 1 MB of
+// capacity that could hold hundreds of small objects reused almost as soon
+// (the "Beyond Belady" observation, PAPERS.md). ByteOracleCache is the
+// standard greedy size-aware oracle: with next-access annotations, each
+// resident is scored by its size-weighted reuse distance
+//
+//   weight(o) = size(o) * (next(o) - now)
+//
+// — the number of byte-steps of capacity the object occupies before it can
+// possibly pay off. Eviction removes the maximum-weight resident, and a
+// missing object is only admitted if its own weight does not exceed the
+// victims it would displace (bypassing is the better choice otherwise).
+// True byte-optimal replacement is NP-hard (it embeds knapsack); this
+// greedy rule is the usual practical bound, reported alongside the
+// object-Belady bound so benches can show both frontiers.
+//
+// Exactness of the eviction maximum: weights shrink as `now` advances, and
+// they shrink faster for larger objects, so the (weight, id) set cannot be
+// kept sorted by static keys. Stored keys are instead treated as upper
+// bounds (each key was exact when written and only decays), and the max is
+// found by lazily refreshing stale tops: pop the largest stored key,
+// recompute at the current time, and either evict it (key was current) or
+// reinsert the refreshed key and retry. A refresh cap keeps adversarial
+// cases bounded; within the cap the selected victim is the exact maximum.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/cache.hpp"
+#include "sim/simulator.hpp"
+
+namespace cdn::analysis {
+
+class ByteOracleCache final : public Cache {
+ public:
+  explicit ByteOracleCache(std::uint64_t capacity_bytes)
+      : Cache(capacity_bytes) {}
+
+  struct Obj {
+    std::uint64_t size = 0;
+    std::int64_t next = 0;
+    std::uint64_t key = 0;  ///< stored (stale-upper-bound) weight in order_
+  };
+
+  /// Per-resident metadata cost, sizeof-derived (PR 6 discipline): one
+  /// unordered_map node (payload + next pointer + one amortized bucket
+  /// slot) plus one rb-tree set node (payload + three tree pointers + a
+  /// color word padded to pointer width).
+  static constexpr std::uint64_t kMapNodeBytes =
+      sizeof(std::pair<const std::uint64_t, Obj>) + 2 * sizeof(void*);
+  static constexpr std::uint64_t kSetNodeBytes =
+      sizeof(std::pair<std::uint64_t, std::uint64_t>) + 4 * sizeof(void*);
+  static constexpr std::uint64_t kPerEntryBytes = kMapNodeBytes + kSetNodeBytes;
+
+  /// Stale tops refreshed per victim selection before the current top is
+  /// accepted as-is. 64 keeps worst-case selection O(64 log n) while being
+  /// far above what the CDN traces ever trigger.
+  static constexpr int kMaxRefreshRounds = 64;
+
+  [[nodiscard]] std::string name() const override { return "ByteOracle"; }
+
+  /// Requires next-access annotation AND that this cache replays the trace
+  /// from its first request (its internal clock is the request index).
+  /// Throws std::runtime_error on an unannotated request, like BeladyCache.
+  bool access(const Request& req) override;
+
+  [[nodiscard]] bool contains(std::uint64_t id) const override {
+    return objects_.contains(id);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return used_bytes_;
+  }
+  // detlint:allow(accounting, objects_ and order_ node costs are the sizeof-derived kMapNodeBytes/kSetNodeBytes terms of kPerEntryBytes)
+  [[nodiscard]] std::uint64_t metadata_bytes() const override {
+    return objects_.size() * kPerEntryBytes;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return objects_.size(); }
+
+  /// Structural audit for tests: order_ and objects_ agree, stored keys
+  /// are upper bounds of current weights, and used_bytes_ sums sizes.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  [[nodiscard]] std::uint64_t weight(const Obj& o) const;
+  /// Evicts exact-max-weight residents until `size` more bytes fit, but
+  /// stops (returning false) if the incoming weight `incoming_key` is at
+  /// least the current maximum — bypassing the incoming object then wastes
+  /// fewer byte-steps than displacing better residents.
+  bool make_room(std::uint64_t size, std::uint64_t incoming_key);
+
+  std::unordered_map<std::uint64_t, Obj> objects_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> order_;  ///< (key, id)
+  std::uint64_t used_bytes_ = 0;
+  std::int64_t tick_ = 0;  ///< requests seen; == next request index
+};
+
+/// Both offline bounds for one (trace, capacity) cell: the object-Belady
+/// lower bound on object misses and the greedy byte-oracle reference on
+/// byte misses, each as a full SimResult so benches can emit them as
+/// ordinary report rows. Requires annotation_current(trace) — throws
+/// std::invalid_argument otherwise (a stale annotation would silently
+/// corrupt both bounds, see trace/oracle.hpp).
+struct OracleBounds {
+  SimResult object_belady;
+  SimResult byte_oracle;
+};
+
+[[nodiscard]] OracleBounds compute_oracle_bounds(const Trace& trace,
+                                                 std::uint64_t capacity_bytes,
+                                                 const SimOptions& opts = {});
+
+}  // namespace cdn::analysis

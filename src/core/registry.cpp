@@ -8,8 +8,10 @@
 #include "core/factories.hpp"
 #include "core/lrb_scip.hpp"
 #include "core/lru_k_scip.hpp"
+#include "core/orchestrator.hpp"
 #include "core/scip_s4lru.hpp"
 #include "policies/admission/adaptsize.hpp"
+#include "policies/admission/size_bucket.hpp"
 #include "policies/admission/tinylfu.hpp"
 #include "policies/admission/two_q.hpp"
 #include "policies/insertion/bip.hpp"
@@ -157,6 +159,19 @@ const std::unordered_map<std::string, Factory>& factories() {
       {"AdaptSize",
        [](std::uint64_t c, std::uint64_t s) {
          return std::make_unique<AdaptSizeCache>(c, s ^ 0xada);
+       }},
+      {"SB-LRU",
+       [](std::uint64_t c, std::uint64_t s) {
+         SizeBucketParams p;
+         p.seed = s ^ 0x5b1;
+         return std::make_unique<SizeBucketLruCache>(c, p);
+       }},
+      // --- Online policy orchestration (the SCION-style selector).
+      {"Orchestrator",
+       [](std::uint64_t c, std::uint64_t s) {
+         OrchestratorParams p;
+         p.seed = s ^ 0x0c1;
+         return std::make_unique<OrchestratorCache>(c, p);
        }},
       // --- Multi-chain SCIP (the paper's future-work direction).
       {"S4LRU-SCIP",

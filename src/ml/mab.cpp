@@ -124,6 +124,62 @@ void ProbabilityHillClimber::update(double hit_rate, Rng& rng) {
   }
 }
 
+HedgeBandit::HedgeBandit(std::size_t arms, double eta, double weight_floor,
+                         double decay)
+    : weights_(arms, arms ? 1.0 / static_cast<double>(arms) : 0.0),
+      eta_(eta),
+      // The floor must leave room for every arm: cap it below 1/K.
+      floor_(std::clamp(weight_floor, 0.0,
+                        arms ? 0.5 / static_cast<double>(arms) : 0.0)),
+      decay_(std::clamp(decay, 0.0, 1.0)) {}
+
+void HedgeBandit::renormalize() {
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  if (sum <= 1e-300) {
+    const double u = 1.0 / static_cast<double>(weights_.size());
+    for (double& w : weights_) w = u;
+    return;
+  }
+  for (double& w : weights_) w /= sum;
+  // Exploration floor, then a second renormalization over the slack so the
+  // weights still sum to 1 exactly (up to rounding).
+  double floored = 0.0;
+  double rest = 0.0;
+  for (double w : weights_) {
+    if (w < floor_) {
+      floored += floor_;
+    } else {
+      rest += w;
+    }
+  }
+  if (floored > 0.0 && rest > 0.0) {
+    const double scale = (1.0 - floored) / rest;
+    for (double& w : weights_) w = w < floor_ ? floor_ : w * scale;
+  }
+}
+
+void HedgeBandit::update(const std::vector<double>& losses) {
+  if (decay_ < 1.0) {
+    // Discounted Hedge (header comment): w^decay ∝ exp(-eta * decay * L),
+    // i.e. the cumulative losses fade geometrically before the new round
+    // is added. Renormalization happens below with the loss update.
+    for (double& w : weights_) w = std::pow(w, decay_);
+  }
+  for (std::size_t a = 0; a < weights_.size() && a < losses.size(); ++a) {
+    weights_[a] *= std::exp(-eta_ * std::clamp(losses[a], 0.0, 1.0));
+  }
+  renormalize();
+}
+
+std::size_t HedgeBandit::best() const {
+  std::size_t b = 0;
+  for (std::size_t a = 1; a < weights_.size(); ++a) {
+    if (weights_[a] > weights_[b]) b = a;
+  }
+  return b;
+}
+
 Exp3Bandit::Exp3Bandit(std::size_t arms, double gamma)
     : weights_(arms, 1.0), gamma_(std::clamp(gamma, 0.0, 1.0)) {}
 

@@ -119,6 +119,50 @@ class ProbabilityHillClimber {
   LearningRateParams params_;
 };
 
+/// Hedge (exponential weights) over K experts with FULL-information
+/// feedback: unlike Exp3, every arm's loss is observed each round — the
+/// orchestrator runs all shadow experts in parallel, so nothing has to be
+/// estimated. Weights follow w_a *= exp(-eta * loss_a) with renormalization
+/// and the same exploration floor as BimodalBandit (a collapsed weight
+/// could otherwise never rehabilitate a recovering expert). Fully
+/// deterministic: no draws, and best() breaks ties toward the lowest index.
+///
+/// `decay` in (0, 1] makes this DISCOUNTED Hedge: each round the cumulative
+/// losses are multiplied by `decay` before the new losses are added, so
+/// evidence older than ~1/(1-decay) rounds fades out. Plain Hedge (decay =
+/// 1) has to pay back an incumbent's entire accumulated lead before the
+/// ranking can flip, which is linear regret under a regime REVERSAL —
+/// exactly the nonstationarity a drifting workload produces. Since the
+/// weights are stored normalized (w_a ∝ exp(-eta * L_a)), the discount is
+/// applied as w_a = w_a^decay, which is the same transformation up to the
+/// shared normalizer; the exploration floor slightly blunts it for
+/// collapsed arms, in the conservative direction (floored arms decay from
+/// the floor, not from their true, lower weight).
+class HedgeBandit {
+ public:
+  explicit HedgeBandit(std::size_t arms, double eta = 4.0,
+                       double weight_floor = 0.01, double decay = 1.0);
+
+  /// One round of full-information feedback: `losses[a]` is arm a's loss
+  /// for the round, expected in [0, 1] (clamped). Must have size arms().
+  void update(const std::vector<double>& losses);
+
+  [[nodiscard]] std::size_t arms() const noexcept { return weights_.size(); }
+  /// Normalized weight of `arm` (weights always sum to 1).
+  [[nodiscard]] double probability(std::size_t arm) const {
+    return weights_[arm];
+  }
+  /// Arm with the largest weight; ties break to the lowest index.
+  [[nodiscard]] std::size_t best() const;
+
+ private:
+  void renormalize();
+  std::vector<double> weights_;
+  double eta_;
+  double floor_;
+  double decay_;
+};
+
 /// EXP3 with K arms (importance-weighted multiplicative updates).
 class Exp3Bandit {
  public:

@@ -4,6 +4,16 @@
 
 namespace cdn::obs {
 
+std::string metric_component(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 json::Value to_json_value(const MetricRegistry& reg) {
   json::Value doc{json::Object{}};
   doc.set("schema", "cdn-metrics");

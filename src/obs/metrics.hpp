@@ -99,6 +99,12 @@ class MetricRegistry {
   std::map<std::string, WindowedSeries> series_;
 };
 
+/// Sanitizes a free-form name (a policy name like "SB-LRU", an expert
+/// label) for use as ONE dotted-path component of a metric name: characters
+/// outside [A-Za-z0-9_-] become '_'. In particular '.' is rewritten, since
+/// it would splice extra path levels into the registry's namespace.
+[[nodiscard]] std::string metric_component(const std::string& name);
+
 /// Current metrics document schema version ("cdn-metrics").
 inline constexpr int kMetricsSchemaVersion = 1;
 

@@ -1,0 +1,114 @@
+#include "policies/admission/size_bucket.hpp"
+
+#include <algorithm>
+
+namespace cdn {
+
+SizeBucketLruCache::SizeBucketLruCache(std::uint64_t capacity_bytes,
+                                       SizeBucketParams params)
+    : QueueCache(capacity_bytes),
+      params_(params),
+      rng_(params.seed) {
+  const std::uint64_t mon_cap =
+      capacity_bytes >> static_cast<unsigned>(params_.cap_shift);
+  // The duel needs 2 * kBuckets disjoint slices and monitors big enough to
+  // produce signal; otherwise degrade to plain LRU (deterministically).
+  enabled_ = mon_cap >= params_.monitor_min_bytes &&
+             (1ULL << static_cast<unsigned>(params_.slice_shift)) >=
+                 2ULL * kBuckets;
+  if (enabled_) {
+    monitors_.resize(2 * kBuckets);
+    for (int b = 0; b < kBuckets; ++b) {
+      for (int a = 0; a < 2; ++a) {
+        Monitor& m = monitors_[static_cast<std::size_t>(2 * b + a)];
+        m.capacity = mon_cap;
+        m.bucket = b;
+        m.bypass_own = a == 1;
+      }
+    }
+  }
+}
+
+SizeBucketLruCache::Monitor::Outcome SizeBucketLruCache::Monitor::access(
+    const Request& req, std::uint64_t h) {
+  // Structurally unadmittable at monitor scale: a guaranteed miss in BOTH
+  // arms, zero evidence about the admission policy (see scip_engine.hpp).
+  if (req.size > capacity) return Outcome::kExcluded;
+  if (LruQueue::Node* n = q.find_hashed(req.id, h)) {
+    q.touch_mru(*n);
+    return Outcome::kHit;
+  }
+  if (bypass_own && bucket_of(req.size) == bucket) return Outcome::kMiss;
+  while (!q.empty() && q.used_bytes() + req.size > capacity) {
+    (void)q.pop_lru();
+  }
+  q.insert_mru_hashed(req.id, req.size, h);
+  return Outcome::kMiss;
+}
+
+void SizeBucketLruCache::feed_duel(const Request& req, std::uint64_t h) {
+  const std::uint64_t slice =
+      h & ((1ULL << static_cast<unsigned>(params_.slice_shift)) - 1);
+  if (slice >= monitors_.size()) return;
+  Monitor& m = monitors_[slice];
+  const auto outcome = m.access(req, h);
+  if (outcome != Monitor::Outcome::kMiss) return;
+  // Misses move the owning bucket's counter only when the missing object
+  // IS of that bucket: on any other size class the two arms are the same
+  // policy, so the miss carries no admit-vs-bypass evidence.
+  if (bucket_of(req.size) != m.bucket) return;
+  int& p = psel_[static_cast<std::size_t>(m.bucket)];
+  if (m.bypass_own) {
+    p = std::max(p - 1, -params_.psel_max);  // refusing the class lost a hit
+  } else {
+    p = std::min(p + 1, params_.psel_max);  // admitting it wasted space
+  }
+}
+
+bool SizeBucketLruCache::access(const Request& req) {
+  return access_hashed(req, hash64(req.id));
+}
+
+bool SizeBucketLruCache::access_hashed(const Request& req, std::uint64_t h) {
+  ++tick_;
+  if (enabled_) feed_duel(req, h);
+  if (LruQueue::Node* n = q_.find_hashed(req.id, h)) {
+    ++n->hits;
+    n->last_tick = tick_;
+    q_.touch_mru(*n);
+    return true;
+  }
+  if (!fits(req.size)) return false;
+  const int b = bucket_of(req.size);
+  if (enabled_ && psel_[static_cast<std::size_t>(b)] >=
+                      params_.bypass_threshold &&
+      !rng_.chance(params_.epsilon)) {
+    ++bypasses_[static_cast<std::size_t>(b)];
+    return false;
+  }
+  make_room(req.size);
+  LruQueue::Node& n = q_.insert_mru_hashed(req.id, req.size, h);
+  n.insert_tick = n.last_tick = tick_;
+  ++admissions_[static_cast<std::size_t>(b)];
+  return false;
+}
+
+std::uint64_t SizeBucketLruCache::metadata_bytes() const {
+  std::uint64_t total = q_.metadata_bytes();
+  for (const Monitor& m : monitors_) total += m.metadata_bytes();
+  return total;
+}
+
+void SizeBucketLruCache::sample_metrics(obs::MetricRegistry& reg) {
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::string prefix = "sblru.b" + std::to_string(b);
+    reg.series(prefix + "_psel")
+        .push(static_cast<double>(psel_[static_cast<std::size_t>(b)]));
+    reg.counter(prefix + "_admissions")
+        .raise_to(admissions_[static_cast<std::size_t>(b)]);
+    reg.counter(prefix + "_bypasses")
+        .raise_to(bypasses_[static_cast<std::size_t>(b)]);
+  }
+}
+
+}  // namespace cdn

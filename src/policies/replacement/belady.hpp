@@ -21,6 +21,21 @@ class BeladyCache final : public Cache {
   explicit BeladyCache(std::uint64_t capacity_bytes)
       : Cache(capacity_bytes) {}
 
+  struct Obj {
+    std::uint64_t size;
+    std::int64_t next;
+  };
+
+  /// Per-resident metadata cost, sizeof-derived (PR 6's GhostList
+  /// discipline): one unordered_map node (payload + next pointer + one
+  /// amortized bucket slot) plus one rb-tree set node (payload + three
+  /// tree pointers + color word padded to pointer width).
+  static constexpr std::uint64_t kMapNodeBytes =
+      sizeof(std::pair<const std::uint64_t, Obj>) + 2 * sizeof(void*);
+  static constexpr std::uint64_t kSetNodeBytes =
+      sizeof(std::pair<std::int64_t, std::uint64_t>) + 4 * sizeof(void*);
+  static constexpr std::uint64_t kPerEntryBytes = kMapNodeBytes + kSetNodeBytes;
+
   [[nodiscard]] std::string name() const override { return "Belady"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
@@ -29,16 +44,12 @@ class BeladyCache final : public Cache {
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return used_bytes_;
   }
-  // detlint:allow(accounting, order_ set nodes are the 64-byte term of the per-object constant)
+  // detlint:allow(accounting, objects_ and order_ node costs are the sizeof-derived kMapNodeBytes/kSetNodeBytes terms of kPerEntryBytes)
   [[nodiscard]] std::uint64_t metadata_bytes() const override {
-    return objects_.size() * (32 + 48 + 64);
+    return objects_.size() * kPerEntryBytes;
   }
 
  private:
-  struct Obj {
-    std::uint64_t size;
-    std::int64_t next;
-  };
   void evict_until_fits(std::uint64_t size);
 
   std::unordered_map<std::uint64_t, Obj> objects_;

@@ -1,5 +1,7 @@
 #include "policies/replacement/gdsf.hpp"
 
+#include <cassert>
+
 namespace cdn {
 
 double GdsfCache::priority_of(const Obj& o) const {
@@ -13,7 +15,11 @@ void GdsfCache::evict_until_fits(std::uint64_t size) {
   while (!order_.empty() && used_bytes_ + size > capacity_) {
     const auto [prio, id] = *order_.begin();
     order_.erase(order_.begin());
-    clock_l_ = prio;  // GreedyDual aging
+    // GreedyDual aging. Monotone by construction: every resident priority
+    // was assigned as clock_l_-at-the-time plus a positive term, and the
+    // clock only ever advances to the minimum of those.
+    assert(prio >= clock_l_);
+    clock_l_ = prio;
     auto it = objects_.find(id);
     used_bytes_ -= it->second.size;
     objects_.erase(it);
@@ -26,8 +32,25 @@ bool GdsfCache::access(const Request& req) {
     Obj& o = it->second;
     order_.erase({o.priority, req.id});
     ++o.freq;
+    if (req.size != o.size) {
+      // Stressor canonicalization keeps per-id sizes stable within a trace,
+      // so a disagreement means the origin re-published the object at a new
+      // size. Serve the hit but re-account the resident copy coherently:
+      // the stale size must not linger in used_bytes_ or the priority.
+      if (!fits(req.size)) {
+        // Grew past the whole cache: the new body can never be resident.
+        used_bytes_ -= o.size;
+        objects_.erase(it);
+        return true;
+      }
+      used_bytes_ = used_bytes_ - o.size + req.size;
+      o.size = req.size;
+    }
     o.priority = priority_of(o);
     order_.emplace(o.priority, req.id);
+    // A growth may have pushed the cache over capacity; shed minimum-
+    // priority objects (possibly the grown object itself) until it fits.
+    if (used_bytes_ > capacity_) evict_until_fits(0);
     return true;
   }
   if (!fits(req.size)) return false;
@@ -40,6 +63,28 @@ bool GdsfCache::access(const Request& req) {
   order_.emplace(o.priority, req.id);
   used_bytes_ += req.size;
   return false;
+}
+
+bool GdsfCache::for_each_resident(
+    const std::function<bool(std::uint64_t, std::uint64_t)>& fn) const {
+  for (const auto& [prio, id] : order_) {
+    (void)prio;
+    if (!fn(id, objects_.at(id).size)) break;
+  }
+  return true;
+}
+
+bool GdsfCache::check_invariants() const {
+  if (order_.size() != objects_.size()) return false;
+  std::uint64_t bytes = 0;
+  for (const auto& [prio, id] : order_) {
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) return false;
+    if (it->second.priority != prio) return false;
+    if (prio < clock_l_) return false;
+    bytes += it->second.size;
+  }
+  return bytes == used_bytes_;
 }
 
 }  // namespace cdn

@@ -6,6 +6,7 @@
 
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/cache.hpp"
 
@@ -16,6 +17,23 @@ class GdsfCache final : public Cache {
   explicit GdsfCache(std::uint64_t capacity_bytes)
       : Cache(capacity_bytes) {}
 
+  struct Obj {
+    std::uint64_t size = 0;
+    std::uint64_t freq = 0;
+    double priority = 0.0;
+  };
+
+  /// Per-resident metadata cost, derived from sizeof like GhostList's
+  /// kPerEntryBytes (PR 6) so a field added to Obj can never silently
+  /// desync the accounting. One unordered_map node (payload + next pointer
+  /// + one amortized bucket slot) plus one rb-tree set node (payload +
+  /// parent/left/right pointers + color word padded to pointer width).
+  static constexpr std::uint64_t kMapNodeBytes =
+      sizeof(std::pair<const std::uint64_t, Obj>) + 2 * sizeof(void*);
+  static constexpr std::uint64_t kSetNodeBytes =
+      sizeof(std::pair<double, std::uint64_t>) + 4 * sizeof(void*);
+  static constexpr std::uint64_t kPerEntryBytes = kMapNodeBytes + kSetNodeBytes;
+
   [[nodiscard]] std::string name() const override { return "GDSF"; }
   bool access(const Request& req) override;
   [[nodiscard]] bool contains(std::uint64_t id) const override {
@@ -24,19 +42,27 @@ class GdsfCache final : public Cache {
   [[nodiscard]] std::uint64_t used_bytes() const override {
     return used_bytes_;
   }
-  // detlint:allow(accounting, order_ set nodes are the 64-byte term of the per-object constant)
+  // detlint:allow(accounting, objects_ and order_ node costs are the sizeof-derived kMapNodeBytes/kSetNodeBytes terms of kPerEntryBytes)
   [[nodiscard]] std::uint64_t metadata_bytes() const override {
-    return objects_.size() * (sizeof(Obj) + 48 + 64);
+    return objects_.size() * kPerEntryBytes;
   }
 
   [[nodiscard]] double inflation() const noexcept { return clock_l_; }
+  [[nodiscard]] std::size_t count() const noexcept { return objects_.size(); }
+
+  /// Ascending priority order — exactly the order evict_until_fits removes.
+  bool for_each_resident(
+      const std::function<bool(std::uint64_t, std::uint64_t)>& fn)
+      const override;
+
+  /// Structural audit used by the differential tests: order_ and objects_
+  /// are the same set (same ids, priorities in sync), used_bytes_ equals
+  /// the sum of resident sizes, and no resident priority is below the
+  /// inflation clock (evictions take the minimum, so the clock can never
+  /// overtake a survivor).
+  [[nodiscard]] bool check_invariants() const;
 
  private:
-  struct Obj {
-    std::uint64_t size = 0;
-    std::uint64_t freq = 0;
-    double priority = 0.0;
-  };
   [[nodiscard]] double priority_of(const Obj& o) const;
   void evict_until_fits(std::uint64_t size);
 

@@ -94,6 +94,19 @@ void S4LruCache::sample_metrics(obs::MetricRegistry& reg) {
   }
 }
 
+bool S4LruCache::for_each_resident(
+    const std::function<bool(std::uint64_t, std::uint64_t)>& fn) const {
+  bool keep_going = true;
+  for (int i = 0; i < kLevels && keep_going; ++i) {
+    seg_[static_cast<std::size_t>(i)].for_each_from_lru(
+        [&](const LruQueue::Node& n) {
+          keep_going = fn(n.id, n.size);
+          return keep_going;
+        });
+  }
+  return true;
+}
+
 bool S4LruCache::check_invariants() const {
   std::uint64_t n = 0;
   for (int i = 0; i < kLevels; ++i) {

@@ -30,6 +30,13 @@ class S4LruCache final : public Cache, public obs::Introspectable {
   /// and the level index consistent with segment membership.
   [[nodiscard]] bool check_invariants() const;
 
+  /// Segment 0's LRU end first (the only segment that evicts), then each
+  /// higher segment LRU-to-MRU — the order the demotion cascade would bleed
+  /// objects out if no further hits arrived.
+  bool for_each_resident(
+      const std::function<bool(std::uint64_t, std::uint64_t)>& fn)
+      const override;
+
   /// Exports per-segment occupancy ("s4lru.seg<i>_bytes" / "_objects").
   void sample_metrics(obs::MetricRegistry& reg) override;
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -54,6 +55,22 @@ class Cache {
   /// The replay loop and the sharded server's batch path call this a few
   /// requests ahead to overlap probe-miss latency across requests.
   virtual void prefetch(std::uint64_t /*id*/) const noexcept {}
+
+  /// Enumerates every resident object as (id, size) in eviction order —
+  /// the next victim first, the most-protected object last — and returns
+  /// true. Policies that cannot enumerate their residents return false
+  /// without calling `fn` (callers then treat the cache as opaque and hand
+  /// state off cold). `fn` returning false stops the walk early. Read-only:
+  /// MUST NOT change any policy decision or statistic. Used by the
+  /// orchestrator's warm hand-off (re-admitting victims first leaves the
+  /// donor's most-valued objects freshest in the successor) and by
+  /// structural audits in tests.
+  virtual bool for_each_resident(
+      const std::function<bool(std::uint64_t id, std::uint64_t size)>& fn)
+      const {
+    (void)fn;
+    return false;
+  }
 
   /// Bytes currently occupied by resident objects.
   [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;

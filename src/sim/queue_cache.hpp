@@ -32,6 +32,15 @@ class QueueCache : public Cache {
     q_.prefetch(id);
   }
 
+  /// LRU-to-MRU walk of the queue: exactly the order make_room() evicts in.
+  bool for_each_resident(
+      const std::function<bool(std::uint64_t, std::uint64_t)>& fn)
+      const override {
+    q_.for_each_from_lru(
+        [&fn](const LruQueue::Node& n) { return fn(n.id, n.size); });
+    return true;
+  }
+
   /// Read-only view of the resident queue for audit::Inspector-based tests
   /// (e.g. structural audits of every node in a CacheNetwork). Never used
   /// by policies.

@@ -62,6 +62,15 @@ struct SimResult {
   double cpu_seconds = 0.0;
   std::uint64_t metadata_peak_bytes = 0;
 
+  // Ratio accessors: a zero denominator reports 0.0 ("no traffic, no
+  // misses"), NEVER NaN/inf. The zero cases are real, not hypothetical —
+  // an empty trace (requests == 0), warmup_frac == 1.0 (warm_requests ==
+  // warm_bytes_total == 0), and in principle a zero-byte request stream
+  // (bytes_total == 0; the Request contract keeps size >= 1, so only
+  // hand-built results hit it). Pinned by SimulatorEdge tests because the
+  // orchestrator's per-expert window scoring divides by the same
+  // denominators and inherits this convention: a window with no evidence
+  // scores as loss-free rather than poisoning the learner with NaN.
   [[nodiscard]] double object_miss_ratio() const {
     return requests ? 1.0 - static_cast<double>(hits) /
                                 static_cast<double>(requests)

@@ -55,11 +55,24 @@ const std::vector<std::string>& stress_scenario_names() {
 }
 
 StressScenario make_stress_scenario(const std::string& name, double scale) {
+  return make_stress_scenario(name, scale, "cdn-t");
+}
+
+StressScenario make_stress_scenario(const std::string& name, double scale,
+                                    const std::string& base) {
   StressScenario sc;
   sc.name = name;
-  sc.base = cdn_t_like(scale);
+  if (base == "cdn-t") {
+    sc.base = cdn_t_like(scale);
+  } else if (base == "cdn-w") {
+    sc.base = cdn_w_like(scale);
+  } else if (base == "cdn-a") {
+    sc.base = cdn_a_like(scale);
+  } else {
+    throw std::invalid_argument("unknown scenario base workload: " + base);
+  }
   if (name == "baseline") {
-    sc.description = "unstressed CDN-T-like base";
+    sc.description = "unstressed base workload";
   } else if (name == "drift") {
     sc.description = "diurnal popularity drift: catalog rank permutation "
                      "rotates every n/5 requests";

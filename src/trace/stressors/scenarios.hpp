@@ -31,6 +31,17 @@ struct StressScenario {
 [[nodiscard]] StressScenario make_stress_scenario(const std::string& name,
                                                   double scale = 1.0);
 
+/// Same palette over a caller-chosen base workload ("cdn-t", "cdn-w",
+/// "cdn-a") — every chain parameter is already derived from the base spec,
+/// so the scenario keeps its shape on any of the three. The two-argument
+/// form is exactly make_stress_scenario(name, scale, "cdn-t"): the golden
+/// masters pin those traces bit-for-bit. The scenario (and thus trace)
+/// name stays the bare scenario name — make_scenario_chain keys off it —
+/// so callers that mix bases must label rows themselves.
+[[nodiscard]] StressScenario make_stress_scenario(const std::string& name,
+                                                  double scale,
+                                                  const std::string& base);
+
 /// Fresh stressor chain for `sc` (stressors are stateful; one chain per
 /// trace). Empty for "baseline".
 [[nodiscard]] std::vector<StressorPtr> make_scenario_chain(

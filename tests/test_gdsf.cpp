@@ -1,0 +1,279 @@
+// GDSF regression + differential suite.
+//
+// Two bug classes are pinned here with tests that fail on the pre-fix
+// implementation:
+//  * stale-size hits — a hit whose request size disagrees with the resident
+//    copy (origin re-published the object) used to serve the hit while
+//    leaving the OLD size in used_bytes_ and the priority, so accounting
+//    drifted and a grown object could push the cache silently over
+//    capacity;
+//  * clock monotonicity — evict_until_fits advances the inflation clock to
+//    the evicted priority; with desynced priorities the clock could jump
+//    past surviving residents, breaking the GreedyDual aging invariant.
+// On top of the targeted regressions, a brute-force reference model (linear
+// scan for the minimum instead of the std::set index) replays a randomized
+// workload and must agree with GdsfCache per access, byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "policies/replacement/gdsf.hpp"
+#include "trace/request.hpp"
+#include "util/rng.hpp"
+
+namespace cdn {
+namespace {
+
+Request req(std::uint64_t id, std::uint64_t size) {
+  Request r;
+  r.id = id;
+  r.size = size;
+  return r;
+}
+
+TEST(Gdsf, MetadataBytesAreSizeofDerived) {
+  // The per-entry cost must be derived from the actual node payloads so a
+  // field added to Obj can never silently desync the accounting.
+  EXPECT_EQ(GdsfCache::kPerEntryBytes,
+            GdsfCache::kMapNodeBytes + GdsfCache::kSetNodeBytes);
+  EXPECT_GE(GdsfCache::kMapNodeBytes,
+            sizeof(std::pair<const std::uint64_t, GdsfCache::Obj>));
+  EXPECT_GE(GdsfCache::kSetNodeBytes,
+            sizeof(std::pair<double, std::uint64_t>));
+
+  GdsfCache cache(1 << 20);
+  EXPECT_EQ(cache.metadata_bytes(), 0u);
+  for (std::uint64_t id = 1; id <= 17; ++id) {
+    (void)cache.access(req(id, 1000));
+  }
+  EXPECT_EQ(cache.count(), 17u);
+  EXPECT_EQ(cache.metadata_bytes(), 17u * GdsfCache::kPerEntryBytes);
+}
+
+// Regression (pre-fix failing): a hit at a new size must re-account
+// used_bytes_ and the priority to the new size, not serve the hit and keep
+// the stale copy's accounting.
+TEST(Gdsf, StaleSizeHitReaccountsBytesAndPriority) {
+  GdsfCache cache(1000);
+  EXPECT_FALSE(cache.access(req(1, 100)));
+  ASSERT_EQ(cache.used_bytes(), 100u);
+
+  EXPECT_TRUE(cache.access(req(1, 600)));  // re-published at 6x the size
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 600u);
+  EXPECT_TRUE(cache.check_invariants());
+
+  // Shrinking must release the bytes just as coherently.
+  EXPECT_TRUE(cache.access(req(1, 50)));
+  EXPECT_EQ(cache.used_bytes(), 50u);
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+// Regression (pre-fix failing): growth past the whole cache serves the hit
+// (the old body was resident) but must drop the resident copy — the new
+// body can never fit, and keeping the stale entry leaks both bytes and a
+// permanently wrong priority.
+TEST(Gdsf, StaleSizeGrowthPastCapacityDropsResident) {
+  GdsfCache cache(1000);
+  EXPECT_FALSE(cache.access(req(1, 100)));
+  EXPECT_TRUE(cache.access(req(1, 2000)));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.count(), 0u);
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+// Regression (pre-fix failing): a growth that still fits the cache but
+// pushes it over capacity must shed minimum-priority residents — possibly
+// the grown object itself — instead of staying silently oversubscribed.
+TEST(Gdsf, StaleSizeGrowthEvictsUntilFit) {
+  GdsfCache cache(1000);
+  EXPECT_FALSE(cache.access(req(1, 400)));
+  EXPECT_FALSE(cache.access(req(2, 400)));
+  ASSERT_EQ(cache.used_bytes(), 800u);
+
+  // id 1 grows to 900: used would be 1300. Priorities after the growth:
+  // id 1 has freq 2 at size 900 (2e6/900 ~ 2222), id 2 has freq 1 at size
+  // 400 (1e6/400 = 2500) — the grown object itself is the minimum and must
+  // be the victim.
+  EXPECT_TRUE(cache.access(req(1, 900)));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_EQ(cache.used_bytes(), 400u);
+  EXPECT_LE(cache.used_bytes(), 1000u);
+  EXPECT_TRUE(cache.check_invariants());
+  // The eviction advanced the aging clock to the evicted priority.
+  EXPECT_NEAR(cache.inflation(), 2.0 * 1e6 / 900.0, 1e-9);
+}
+
+TEST(Gdsf, OversizedMissBypasses) {
+  GdsfCache cache(100);
+  EXPECT_FALSE(cache.access(req(7, 500)));
+  EXPECT_FALSE(cache.contains(7));
+  EXPECT_EQ(cache.count(), 0u);
+}
+
+TEST(Gdsf, ForEachResidentAscendsInPriority) {
+  GdsfCache cache(1 << 20);
+  // Same frequency, so priority orders by 1/size: 1000 < 100 < 10.
+  (void)cache.access(req(1, 1000));
+  (void)cache.access(req(2, 10));
+  (void)cache.access(req(3, 100));
+  std::vector<std::uint64_t> order;
+  cache.for_each_resident([&order](std::uint64_t id, std::uint64_t) {
+    order.push_back(id);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+// Regression (pre-fix failing): the inflation clock must never decrease,
+// and no surviving resident may sit below it — stale priorities from the
+// old hit path let the clock overtake survivors.
+TEST(Gdsf, InflationClockIsMonotoneUnderChurn) {
+  GdsfCache cache(64 * 1024);
+  Rng rng(0x9d5f);
+  std::vector<std::uint64_t> sizes(64, 0);
+  double last_clock = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t id = 1 + rng.below(64);
+    if (sizes[id - 1] == 0 || rng.chance(0.02)) {
+      sizes[id - 1] = 1 + rng.below(8 * 1024);  // (re-)published size
+    }
+    (void)cache.access(req(id, sizes[id - 1]));
+    EXPECT_GE(cache.inflation(), last_clock) << "at request " << i;
+    last_clock = cache.inflation();
+    if (i % 256 == 0) {
+      ASSERT_TRUE(cache.check_invariants()) << "at request " << i;
+    }
+  }
+  EXPECT_TRUE(cache.check_invariants());
+  EXPECT_GT(cache.inflation(), 0.0);  // churn forced evictions
+}
+
+/// Brute-force GDSF reference: same semantics as GdsfCache (including the
+/// stale-size hit rules), but the eviction minimum comes from a linear scan
+/// over a std::map instead of the (priority, id) set index — an
+/// independently-written structure whose agreement checks the indexed
+/// implementation.
+class RefGdsf {
+ public:
+  explicit RefGdsf(std::uint64_t cap) : cap_(cap) {}
+
+  bool access(std::uint64_t id, std::uint64_t size) {
+    auto it = objs_.find(id);
+    if (it != objs_.end()) {
+      Obj& o = it->second;
+      ++o.freq;
+      if (size != o.size) {
+        if (size > cap_) {
+          used_ -= o.size;
+          objs_.erase(it);
+          return true;
+        }
+        used_ = used_ - o.size + size;
+        o.size = size;
+      }
+      o.prio = prio_of(o.freq, o.size);
+      if (used_ > cap_) evict_until(0);
+      return true;
+    }
+    if (size > cap_) return false;
+    evict_until(size);
+    Obj o;
+    o.size = size;
+    o.freq = 1;
+    o.prio = prio_of(1, size);
+    objs_.emplace(id, o);
+    used_ += size;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::size_t count() const { return objs_.size(); }
+  [[nodiscard]] double inflation() const { return clock_; }
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return objs_.contains(id);
+  }
+
+ private:
+  struct Obj {
+    std::uint64_t size = 0;
+    std::uint64_t freq = 0;
+    double prio = 0.0;
+  };
+
+  // Bit-identical expression to GdsfCache::priority_of so the comparison
+  // can demand exact equality, not an epsilon.
+  [[nodiscard]] double prio_of(std::uint64_t freq, std::uint64_t size) const {
+    return clock_ + static_cast<double>(freq) * 1e6 /
+                        static_cast<double>(size);
+  }
+
+  void evict_until(std::uint64_t need) {
+    while (!objs_.empty() && used_ + need > cap_) {
+      auto victim = objs_.begin();
+      for (auto it = objs_.begin(); it != objs_.end(); ++it) {
+        // Minimum (priority, id) — the set's lexicographic order.
+        if (it->second.prio < victim->second.prio ||
+            (it->second.prio == victim->second.prio &&
+             it->first < victim->first)) {
+          victim = it;
+        }
+      }
+      clock_ = victim->second.prio;
+      used_ -= victim->second.size;
+      objs_.erase(victim);
+    }
+  }
+
+  std::uint64_t cap_;
+  std::uint64_t used_ = 0;
+  double clock_ = 0.0;
+  std::map<std::uint64_t, Obj> objs_;
+};
+
+TEST(Gdsf, DifferentialAgainstBruteForceReference) {
+  const std::uint64_t cap = 200 * 1024;
+  GdsfCache cache(cap);
+  RefGdsf ref(cap);
+  Rng rng(0x6d5f);
+  std::vector<std::uint64_t> sizes(200, 0);
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t id = 1 + rng.below(200);
+    // Mostly-stable per-id sizes with occasional re-publication, plus a
+    // rare oversize to exercise both the bypass and the drop-on-growth
+    // paths.
+    if (sizes[id - 1] == 0 || rng.chance(0.01)) {
+      sizes[id - 1] = rng.chance(0.02) ? cap + 1 + rng.below(1000)
+                                       : 1 + rng.below(6 * 1024);
+    }
+    const std::uint64_t size = sizes[id - 1];
+    const bool hit = cache.access(req(id, size));
+    const bool ref_hit = ref.access(id, size);
+    ASSERT_EQ(hit, ref_hit) << "request " << i << " id " << id;
+    ASSERT_EQ(cache.used_bytes(), ref.used()) << "request " << i;
+    ASSERT_EQ(cache.count(), ref.count()) << "request " << i;
+    ASSERT_EQ(cache.inflation(), ref.inflation()) << "request " << i;
+    if (i % 512 == 0) {
+      ASSERT_TRUE(cache.check_invariants()) << "request " << i;
+    }
+  }
+  // Final resident sets are identical.
+  std::size_t seen = 0;
+  cache.for_each_resident([&](std::uint64_t id, std::uint64_t) {
+    EXPECT_TRUE(ref.contains(id)) << id;
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, ref.count());
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+}  // namespace
+}  // namespace cdn

@@ -138,5 +138,93 @@ TEST(HillClimber, ClimbsSmoothObjective) {
   EXPECT_NEAR(last, 0.8, 0.25);
 }
 
+TEST(Hedge, StartsUniformAndStaysNormalized) {
+  HedgeBandit h(4);
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_DOUBLE_EQ(h.probability(a), 0.25);
+  }
+  h.update({0.9, 0.1, 0.5, 0.5});
+  double sum = 0.0;
+  for (std::size_t a = 0; a < 4; ++a) sum += h.probability(a);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Hedge, SeparatesArmsByLoss) {
+  // Two rounds: enough to order the arms, few enough that only the worst
+  // arm has collapsed to the exploration floor.
+  HedgeBandit h(3, /*eta=*/4.0);
+  for (int i = 0; i < 2; ++i) h.update({0.8, 0.2, 0.5});
+  EXPECT_EQ(h.best(), 1u);
+  EXPECT_GT(h.probability(1), h.probability(2));
+  EXPECT_GT(h.probability(2), h.probability(0));
+}
+
+TEST(Hedge, FloorKeepsLosersObservable) {
+  HedgeBandit h(2, /*eta=*/8.0, /*weight_floor=*/0.1);
+  for (int i = 0; i < 200; ++i) h.update({1.0, 0.0});
+  EXPECT_GE(h.probability(0), 0.1 - 1e-12);
+  EXPECT_NEAR(h.probability(0) + h.probability(1), 1.0, 1e-12);
+}
+
+TEST(Hedge, BestBreaksTiesToLowestIndex) {
+  HedgeBandit h(3);
+  EXPECT_EQ(h.best(), 0u);
+  h.update({0.5, 0.5, 0.5});  // symmetric: still tied
+  EXPECT_EQ(h.best(), 0u);
+}
+
+TEST(Hedge, ClampsOutOfRangeLosses) {
+  HedgeBandit h(2, /*eta=*/4.0);
+  h.update({1e9, -1e9});  // clamped to {1, 0}: no overflow, no NaN
+  EXPECT_GT(h.probability(1), h.probability(0));
+  EXPECT_NEAR(h.probability(0) + h.probability(1), 1.0, 1e-12);
+}
+
+// Discounted Hedge: after a long regime favoring arm 0, a REVERSAL must
+// flip the ranking within ~1/(1-decay) rounds, while plain Hedge has to
+// repay the incumbent's whole accumulated lead first.
+TEST(Hedge, DecayRecoversFromRegimeReversalFaster) {
+  // Floor disabled so the discount's own memory bound is what's measured
+  // (the exploration floor also speeds recovery, by a different mechanism).
+  HedgeBandit plain(2, /*eta=*/1.0, /*weight_floor=*/0.0, /*decay=*/1.0);
+  HedgeBandit discounted(2, /*eta=*/1.0, /*weight_floor=*/0.0,
+                         /*decay=*/0.9);
+  const std::vector<double> arm0_wins = {0.0, 1.0};
+  const std::vector<double> arm1_wins = {1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    plain.update(arm0_wins);
+    discounted.update(arm0_wins);
+  }
+  int plain_flip = -1;
+  int discounted_flip = -1;
+  for (int i = 0; i < 200; ++i) {
+    plain.update(arm1_wins);
+    discounted.update(arm1_wins);
+    if (plain_flip < 0 && plain.best() == 1) plain_flip = i + 1;
+    if (discounted_flip < 0 && discounted.best() == 1) {
+      discounted_flip = i + 1;
+    }
+  }
+  // The discount bounds the learner's memory to ~1/(1-decay) = 10 rounds.
+  ASSERT_GE(discounted_flip, 1);
+  EXPECT_LE(discounted_flip, 20);
+  // Plain Hedge must first repay the incumbent's 100-round lead.
+  ASSERT_GE(plain_flip, 1);
+  EXPECT_GE(plain_flip, 90);
+}
+
+TEST(Hedge, DecayOneIsPlainHedge) {
+  HedgeBandit a(3, /*eta=*/4.0, /*weight_floor=*/0.01);  // default decay = 1
+  HedgeBandit b(3, /*eta=*/4.0, /*weight_floor=*/0.01, /*decay=*/1.0);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> losses = {0.1 * (i % 7), 0.3, 0.05 * (i % 3)};
+    a.update(losses);
+    b.update(losses);
+  }
+  for (std::size_t arm = 0; arm < 3; ++arm) {
+    EXPECT_DOUBLE_EQ(a.probability(arm), b.probability(arm));
+  }
+}
+
 }  // namespace
 }  // namespace cdn::ml

@@ -465,5 +465,15 @@ TEST(ObsIntrospection, SinkReceivesEverySweepJob) {
   }
 }
 
+TEST(ObsMetrics, MetricComponentSanitizesFreeFormNames) {
+  // Policy names become ONE dotted-path component: '.' in particular must
+  // be rewritten or it would splice extra levels into the metric namespace
+  // (the orchestrator builds "orch.p.<expert>" from registry names).
+  EXPECT_EQ(obs::metric_component("SB-LRU"), "SB-LRU");
+  EXPECT_EQ(obs::metric_component("LRU_2"), "LRU_2");
+  EXPECT_EQ(obs::metric_component("a.b c/d"), "a_b_c_d");
+  EXPECT_EQ(obs::metric_component(""), "");
+}
+
 }  // namespace
 }  // namespace cdn

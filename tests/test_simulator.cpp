@@ -188,5 +188,42 @@ TEST(Sweep, RejectsIncompleteJob) {
   EXPECT_THROW(run_sweep(jobs), std::invalid_argument);
 }
 
+// Zero-denominator pins: every ratio accessor reports 0.0 — never NaN or
+// inf — when its denominator is zero. These cases are real (empty traces,
+// warmup_frac == 1.0), and the orchestrator's per-expert window scoring
+// divides by the same denominators, so the convention is contractual.
+TEST(SimulatorEdge, EmptyTraceYieldsZeroRatios) {
+  LruCache cache(100);
+  Trace empty;
+  empty.name = "empty";
+  const auto res = simulate(cache, empty);
+  EXPECT_EQ(res.requests, 0u);
+  EXPECT_EQ(res.object_miss_ratio(), 0.0);
+  EXPECT_EQ(res.byte_miss_ratio(), 0.0);
+  EXPECT_EQ(res.warm_object_miss_ratio(), 0.0);
+  EXPECT_EQ(res.warm_byte_miss_ratio(), 0.0);
+  EXPECT_EQ(res.tps(), 0.0);
+}
+
+TEST(SimulatorEdge, FullWarmupYieldsZeroWarmRatios) {
+  LruCache cache(100);
+  const auto res = simulate(cache, tiny_trace(), {.warmup_frac = 1.0});
+  EXPECT_EQ(res.warm_requests, 0u);
+  EXPECT_EQ(res.warm_bytes_total, 0u);
+  EXPECT_EQ(res.warm_object_miss_ratio(), 0.0);
+  EXPECT_EQ(res.warm_byte_miss_ratio(), 0.0);
+  // The full-trace ratios are untouched by the warm-up split.
+  EXPECT_GT(res.object_miss_ratio(), 0.0);
+}
+
+TEST(SimulatorEdge, HandBuiltZeroResultNeverDividesByZero) {
+  const SimResult zero;  // all denominators zero, including bytes_total
+  EXPECT_EQ(zero.object_miss_ratio(), 0.0);
+  EXPECT_EQ(zero.byte_miss_ratio(), 0.0);
+  EXPECT_EQ(zero.warm_object_miss_ratio(), 0.0);
+  EXPECT_EQ(zero.warm_byte_miss_ratio(), 0.0);
+  EXPECT_EQ(zero.tps(), 0.0);
+}
+
 }  // namespace
 }  // namespace cdn

@@ -117,6 +117,40 @@ TEST(SweepDeterminism, StressedSweepIsThreadCountInvariant) {
   }
 }
 
+// The orchestrator is the most state-heavy cache in the registry (k shadow
+// experts + a live policy + the Hedge learner), so it gets its own 1/2/8-
+// thread bitwise-identity check, metrics blobs included. Capacities pick up
+// both modes: 32/64 MB run the full shadow apparatus, 1 MB sits below the
+// 2 MiB monitor floor and exercises the degraded path.
+TEST(SweepDeterminism, OrchestratorSweepIsThreadCountInvariant) {
+  std::vector<SweepJob> jobs;
+  SimOptions opts;
+  opts.window = 2'000;
+  opts.collect_policy_metrics = true;
+  for (const std::uint64_t cap : {1ULL << 20, 32ULL << 20, 64ULL << 20}) {
+    jobs.push_back(SweepJob{
+        [cap] { return make_cache("Orchestrator", cap); }, &grid_trace(),
+        opts});
+  }
+
+  const auto r1 = run_sweep(jobs, 1);
+  const auto r2 = run_sweep(jobs, 2);
+  const auto r8 = run_sweep(jobs, 8);
+  ASSERT_EQ(r1.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_TRUE(deterministic_equal(r1[i], r2[i]));
+    EXPECT_TRUE(deterministic_equal(r1[i], r8[i]));
+    ASSERT_EQ(r1[i].window_miss_ratios.size(),
+              r8[i].window_miss_ratios.size());
+    for (std::size_t w = 0; w < r1[i].window_miss_ratios.size(); ++w) {
+      EXPECT_EQ(r1[i].window_miss_ratios[w], r8[i].window_miss_ratios[w]);
+    }
+    EXPECT_EQ(r1[i].metrics_json, r8[i].metrics_json);
+    EXPECT_FALSE(r1[i].metrics_json.empty());
+  }
+}
+
 TEST(SweepDeterminism, RepeatedSweepsAreIdentical) {
   auto jobs = job_grid();
   jobs.resize(6);
